@@ -1,0 +1,448 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (see DESIGN.md's per-experiment index).
+
+     bench/main.exe                 — run every experiment (quick params)
+     bench/main.exe --full          — paper-scale parameters for Fig. 4
+     bench/main.exe fig1            — §3 bug-study table
+     bench/main.exe table_effectiveness — §6.1 (all 23 bugs fixed)
+     bench/main.exe table_heuristics    — §6.1 (Full-AA == Trace-AA)
+     bench/main.exe fig3            — §6.2 accuracy vs developer fixes
+     bench/main.exe fig4            — §6.3 Redis YCSB throughput
+     bench/main.exe fix_stats       — §6.3 fix statistics
+     bench/main.exe fig5            — §6.4 offline overhead
+     bench/main.exe code_size       — §6.4 code-size impact
+     bench/main.exe ablate_reuse    — A1: clone reuse on/off
+     bench/main.exe ablate_reduction— A2: fix reduction on/off
+     bench/main.exe ablate_heuristic— A3: cost-model robustness
+     bench/main.exe micro           — bechamel micro-benchmarks *)
+
+open Hippo_pmir
+open Hippo_pmcheck
+open Hippo_core
+open Hippo_pmdk_mini
+open Hippo_apps
+
+let section title = Fmt.pr "@.=== %s ===@." title
+
+(* ------------------------------------------------------------------ *)
+(* E1 — Fig. 1: the 26-bug study *)
+
+let fig1 () =
+  section "Fig. 1 — study of 26 PMDK durability bugs (paper: 13 / 28 / 66)";
+  List.iter
+    (fun r -> Fmt.pr "  %a@." Hippo_bugstudy.Dataset.pp_row r)
+    (Hippo_bugstudy.Dataset.figure1 ());
+  let n, total = Hippo_bugstudy.Dataset.interprocedural_fraction () in
+  Fmt.pr "  interprocedural developer fixes: %d/%d (%d%%) (paper: 16/26, 62%%)@."
+    n total (100 * n / total)
+
+(* ------------------------------------------------------------------ *)
+(* Corpus plumbing shared by E2/E3/E4/E7 *)
+
+let repair_case ?(options = Driver.default_options) (case : Case.t) =
+  Driver.repair ~options ~name:case.Case.id ~workload:case.Case.workload
+    (Lazy.force case.Case.program)
+
+(* E2 — §6.1 effectiveness *)
+
+let table_effectiveness () =
+  section "§6.1 — effectiveness: fix all 23 reproduced bugs";
+  let all_ok = ref true in
+  let pmdk_ok = ref 0 in
+  List.iter
+    (fun case ->
+      let r = repair_case case in
+      let ok =
+        r.Driver.bugs <> []
+        && Verify.effective r.Driver.verification
+        && Verify.harm_free r.Driver.verification
+      in
+      if ok then incr pmdk_ok else all_ok := false)
+    Bugs.all;
+  Fmt.pr "  %-22s bugs: %2d (expected 11)   repaired+verified: %s@."
+    "PMDK (unit tests)" !pmdk_ok
+    (if !pmdk_ok = 11 then "yes" else "NO");
+  let app_row label case expected ~count =
+    let r = repair_case case in
+    let n = count r in
+    let ok =
+      Verify.effective r.Driver.verification
+      && Verify.harm_free r.Driver.verification
+    in
+    if (not ok) || n <> expected then all_ok := false;
+    Fmt.pr "  %-22s bugs: %2d (expected %2d)   repaired+verified: %s@." label
+      n expected
+      (if ok then "yes" else "NO")
+  in
+  app_row "P-CLHT (RECIPE)" (List.hd Pclht.cases) 2 ~count:(fun r ->
+      Case.static_bug_sites r.Driver.bugs);
+  app_row "memcached-pm" (List.hd Memcached_mini.cases) 10 ~count:(fun r ->
+      List.length (Report.dedup r.Driver.bugs));
+  Fmt.pr "  total: %d bugs (paper: 23); all repaired with zero residual: %s@."
+    (!pmdk_ok + 12)
+    (if !all_ok && !pmdk_ok = 11 then "yes" else "NO")
+
+(* E3 — §6.1 heuristic equivalence *)
+
+let table_heuristics () =
+  section "§6.1 — Full-AA vs Trace-AA produce identical fixes";
+  let all_cases =
+    Bugs.all @ [ List.hd Pclht.cases; List.hd Memcached_mini.cases ]
+  in
+  let identical = ref 0 in
+  List.iter
+    (fun (case : Case.t) ->
+      let sig_of oracle =
+        let r =
+          repair_case ~options:{ Driver.default_options with oracle } case
+        in
+        List.sort String.compare
+          (List.map Fix.to_string r.Driver.plan.Fix.fixes)
+      in
+      let same = sig_of Driver.Full_aa = sig_of Driver.Trace_aa in
+      if same then incr identical;
+      Fmt.pr "  %-14s %s@." case.Case.id
+        (if same then "identical" else "DIFFERENT"))
+    all_cases;
+  Fmt.pr "  %d/%d subjects with identical fix sets (paper: all)@." !identical
+    (List.length all_cases)
+
+(* E4 — Fig. 3: accuracy vs developer fixes *)
+
+let fig3 () =
+  section "Fig. 3 — Hippocrates fixes vs PMDK developer fixes";
+  Fmt.pr "  %-7s %-40s %-42s %s@." "issue" "Hippocrates fix" "developer fix"
+    "comparison";
+  let identical = ref 0 and equivalent = ref 0 in
+  List.iter
+    (fun (case : Case.t) ->
+      let r = repair_case case in
+      let shape =
+        match
+          List.find_opt
+            (fun (_, s) -> Case.shape_matches case.Case.expected_shape s)
+            r.Driver.plan.Fix.per_bug
+        with
+        | Some (_, s) -> Fix.shape_to_string s
+        | None -> "(unexpected)"
+      in
+      let comparison =
+        match case.Case.dev_fix with
+        | Some Case.Dev_inter_flush_fence ->
+            incr identical;
+            "functionally identical"
+        | Some Case.Dev_portable_flush ->
+            incr equivalent;
+            "equivalent; PMDK's fix is more portable"
+        | None -> "-"
+      in
+      Fmt.pr "  #%-6s %-40s %-42s %s@."
+        (match case.Case.issue with Some n -> string_of_int n | None -> "?")
+        shape
+        (Fmt.str "%a" Case.pp_dev_fix case.Case.dev_fix)
+        comparison)
+    Bugs.all;
+  Fmt.pr
+    "  functionally identical: %d/11 (paper: 8/11); equivalent: %d/11 \
+     (paper: 3/11)@."
+    !identical !equivalent
+
+(* ------------------------------------------------------------------ *)
+(* E5 — Fig. 4: Redis YCSB throughput *)
+
+let fig4 ~full () =
+  section
+    (if full then
+       "Fig. 4 — Redis YCSB throughput (paper parameters: 10k/10k, 20 trials)"
+     else "Fig. 4 — Redis YCSB throughput (quick parameters)");
+  let v = Redis_bench.repair_variants () in
+  Fmt.pr "  repair: %d bugs, %d fixes (%d interprocedural)@."
+    (List.length v.Redis_bench.full_result.Driver.bugs)
+    (List.length v.Redis_bench.full_result.Driver.plan.Fix.fixes)
+    (Fix.count_hoisted v.Redis_bench.full_result.Driver.plan);
+  List.iter
+    (fun (name, prog) ->
+      Fmt.pr "  %-14s residual bugs: %d@." name
+        (List.length (Redis_bench.residual_bugs prog)))
+    [
+      ("Redis-pm", v.Redis_bench.manual);
+      ("Redis_H-intra", v.Redis_bench.h_intra);
+      ("Redis_H-full", v.Redis_bench.h_full);
+    ];
+  let trials = if full then 20 else 5 in
+  let record_count = if full then 10_000 else 2_000 in
+  let op_count = if full then 10_000 else 2_000 in
+  Fmt.pr "  simulated kops/s, %d trials, %d records, %d ops:@." trials
+    record_count op_count;
+  let rows = Redis_bench.figure4 ~trials ~record_count ~op_count v in
+  List.iter (fun r -> Fmt.pr "    %a@." Redis_bench.pp_row r) rows;
+  let load = List.hd rows in
+  let open Hippo_perfmodel in
+  Fmt.pr
+    "  Load: H-full/Redis-pm = %.2fx (paper: ~1.07x); H-full/H-intra range: \
+     %.1fx-%.1fx (paper: 2.4x-11.7x)@."
+    (load.Redis_bench.full.Stats.mean /. load.Redis_bench.manual_pm.Stats.mean)
+    (List.fold_left
+       (fun acc r ->
+         min acc
+           (r.Redis_bench.full.Stats.mean /. r.Redis_bench.intra.Stats.mean))
+       infinity rows)
+    (List.fold_left
+       (fun acc r ->
+         max acc
+           (r.Redis_bench.full.Stats.mean /. r.Redis_bench.intra.Stats.mean))
+       0.0 rows);
+  v
+
+(* E6 — §6.3 fix statistics *)
+
+let fix_stats ?variants () =
+  section "§6.3 — fix statistics for the Redis repair";
+  let v =
+    match variants with Some v -> v | None -> Redis_bench.repair_variants ()
+  in
+  let plan = v.Redis_bench.full_result.Driver.plan in
+  let hoists =
+    List.filter_map
+      (function Fix.Hoist h -> Some h | Fix.Intra _ -> None)
+      plan.Fix.fixes
+  in
+  let depth d = List.length (List.filter (fun h -> h.Fix.depth = d) hoists) in
+  Fmt.pr
+    "  fixes: %d total, %d intraprocedural, %d interprocedural (paper: 50 \
+     total, 12 inter)@."
+    (List.length plan.Fix.fixes)
+    (Fix.count_intra plan) (List.length hoists);
+  Fmt.pr "  hoist depths: %d at 1 frame, %d at 2 frames (paper: 10 and 2)@."
+    (depth 1) (depth 2);
+  Fmt.pr "  fix reduction eliminated %d raw fixes@."
+    v.Redis_bench.full_result.Driver.reduce_eliminated
+
+(* ------------------------------------------------------------------ *)
+(* E7 — Fig. 5: offline overhead *)
+
+let fig5 () =
+  section "Fig. 5 — offline overhead of Hippocrates";
+  Fmt.pr "  %-22s %10s %13s %11s %10s@." "target" "IR instrs" "trace events"
+    "time" "peak heap";
+  let show name (r : Driver.result) =
+    Fmt.pr "  %-22s %10d %13d %10.3fs %8dMB@." name r.Driver.input_instrs
+      r.Driver.trace_events r.Driver.time_s
+      (r.Driver.peak_heap_bytes / (1024 * 1024))
+  in
+  let pmdk_results = List.map repair_case Bugs.all in
+  let instrs, events, time, mem =
+    List.fold_left
+      (fun (instrs, events, time, mem) (r : Driver.result) ->
+        ( instrs + r.Driver.input_instrs,
+          events + r.Driver.trace_events,
+          time +. r.Driver.time_s,
+          max mem r.Driver.peak_heap_bytes ))
+      (0, 0, 0.0, 0) pmdk_results
+  in
+  Fmt.pr "  %-22s %10d %13d %10.3fs %8dMB@." "PMDK (11 unit tests)" instrs
+    events time
+    (mem / (1024 * 1024));
+  show "P-CLHT (RECIPE)" (repair_case (List.hd Pclht.cases));
+  show "memcached-pm" (repair_case (List.hd Memcached_mini.cases));
+  let redis =
+    Driver.repair ~name:"redis" ~workload:Redis_bench.repair_workload
+      (Redis_mini.build Redis_mini.Flush_free)
+  in
+  show "Redis (flush-free)" redis;
+  Fmt.pr
+    "  (paper: 2s-5m09s, 147-870MB on 37-203 KLOC of C; same shape — the \
+     largest target dominates)@."
+
+(* E8 — §6.4 code-size impact *)
+
+let code_size ?variants () =
+  section "§6.4 — code-size impact of persistent subprograms (Redis)";
+  let v =
+    match variants with Some v -> v | None -> Redis_bench.repair_variants ()
+  in
+  let r = v.Redis_bench.full_result in
+  let added = r.Driver.output_instrs - r.Driver.input_instrs in
+  Fmt.pr "  IR instructions: %d -> %d (+%d, +%.3f%%)@." r.Driver.input_instrs
+    r.Driver.output_instrs added
+    (100.0 *. float_of_int added /. float_of_int r.Driver.input_instrs);
+  Fmt.pr
+    "  persistent clones created: %d (paper: +105 IR lines, +0.013%%, with \
+     clone reuse)@."
+    r.Driver.apply_stats.Apply.clones_created
+
+(* ------------------------------------------------------------------ *)
+(* A1 — ablation: clone reuse *)
+
+let ablate_reuse () =
+  section "A1 — persistent-subprogram clone reuse (on vs off)";
+  let prog = Redis_mini.build Redis_mini.Flush_free in
+  let run reuse =
+    Driver.repair
+      ~options:{ Driver.default_options with clone_reuse = reuse }
+      ~name:"redis" ~workload:Redis_bench.repair_workload prog
+  in
+  let on = run true and off = run false in
+  let fmt (r : Driver.result) =
+    Fmt.str "instrs %d->%d (clones %d)" r.Driver.input_instrs
+      r.Driver.output_instrs r.Driver.apply_stats.Apply.clones_created
+  in
+  Fmt.pr "  reuse on : %s@." (fmt on);
+  Fmt.pr "  reuse off: %s@." (fmt off);
+  Fmt.pr "  both verified clean: %b / %b@."
+    (Verify.effective on.Driver.verification)
+    (Verify.effective off.Driver.verification)
+
+(* A2 — ablation: fix reduction *)
+
+let ablate_reduction () =
+  section "A2 — fix reduction (Phase 2) on vs off";
+  List.iter
+    (fun (case : Case.t) ->
+      let on = repair_case case in
+      let off =
+        repair_case
+          ~options:{ Driver.default_options with reduction = false }
+          case
+      in
+      Fmt.pr
+        "  %-14s raw fixes: %2d; with reduction: %2d applied; without: %2d \
+         applied; both clean: %b@."
+        case.Case.id on.Driver.raw_fix_count
+        (List.length on.Driver.plan.Fix.fixes)
+        (List.length off.Driver.plan.Fix.fixes)
+        (Verify.effective on.Driver.verification
+        && Verify.effective off.Driver.verification))
+    (Bugs.all @ [ List.hd Pclht.cases; List.hd Memcached_mini.cases ])
+
+(* A3 — ablation: cost-model robustness *)
+
+let ablate_heuristic () =
+  section "A3 — Fig. 4 conclusions under different cost models";
+  let v = Redis_bench.repair_variants () in
+  let spec =
+    {
+      (Hippo_ycsb.Workload.default_spec Hippo_ycsb.Workload.A) with
+      record_count = 1000;
+      op_count = 1000;
+    }
+  in
+  List.iter
+    (fun (label, cost) ->
+      let tput prog =
+        Hippo_perfmodel.Timed.throughput_kops
+          (Redis_bench.trial ~cost prog spec ~seed:1)
+      in
+      let ti = tput v.Redis_bench.h_intra
+      and tm = tput v.Redis_bench.manual
+      and tf = tput v.Redis_bench.h_full in
+      Fmt.pr
+        "  %-16s H-intra %7.0f  Redis-pm %7.0f  H-full %7.0f  (full/intra \
+         %.2fx, full/pm %.2fx)@."
+        label ti tm tf (tf /. ti) (tf /. tm))
+    [
+      ("default", Cost.default);
+      ("fence-heavy", Cost.fence_heavy);
+      ("cheap-vol-flush", Cost.cheap_vol_flush);
+    ];
+  Fmt.pr
+    "  (the interprocedural advantage must survive fence-heavy constants \
+     and shrink when volatile flushes are free)@."
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one per experiment pipeline *)
+
+let micro () =
+  section "bechamel micro-benchmarks (one per experiment pipeline)";
+  let open Bechamel in
+  let listing5 = Lazy.force (List.hd Bugs.all).Case.program in
+  let text = Printer.to_string listing5 in
+  let clht = Pclht.build () in
+  let tests =
+    [
+      Test.make ~name:"fig1_aggregate"
+        (Staged.stage (fun () -> Hippo_bugstudy.Dataset.figure1 ()));
+      Test.make ~name:"pmir_parse"
+        (Staged.stage (fun () -> Parser.program text));
+      Test.make ~name:"pmir_validate"
+        (Staged.stage (fun () -> Validate.check listing5));
+      Test.make ~name:"andersen_analyze"
+        (Staged.stage (fun () -> Hippo_alias.Andersen.analyze clht));
+      Test.make ~name:"pmcheck_clht_workload"
+        (Staged.stage (fun () ->
+             let t = Interp.create Interp.default_config clht in
+             Pclht.workload t;
+             Interp.exit_check t;
+             Interp.bugs t));
+      Test.make ~name:"repair_pmdk_452"
+        (Staged.stage (fun () -> repair_case (List.nth Bugs.all 1)));
+      Test.make ~name:"repair_pclht"
+        (Staged.stage (fun () -> repair_case (List.hd Pclht.cases)));
+      Test.make ~name:"ycsb_generate_ops"
+        (Staged.stage (fun () ->
+             Hippo_ycsb.Workload.ops
+               (Hippo_ycsb.Workload.default_spec Hippo_ycsb.Workload.A)
+               ~seed:1));
+    ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false
+      ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      Hashtbl.iter
+        (fun name raw ->
+          let est = Analyze.one ols instance raw in
+          match Analyze.OLS.estimates est with
+          | Some [ ns ] -> Fmt.pr "  %-28s %12.1f ns/run@." name ns
+          | _ -> Fmt.pr "  %-28s (no estimate)@." name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let full = List.mem "--full" args in
+  let cmds =
+    List.filteri (fun k a -> k > 0 && a <> "--full") args
+  in
+  let run_all () =
+    fig1 ();
+    table_effectiveness ();
+    table_heuristics ();
+    fig3 ();
+    let v = fig4 ~full () in
+    fix_stats ~variants:v ();
+    fig5 ();
+    code_size ~variants:v ();
+    ablate_reuse ();
+    ablate_reduction ();
+    ablate_heuristic ();
+    micro ()
+  in
+  match cmds with
+  | [] -> run_all ()
+  | cmds ->
+      List.iter
+        (function
+          | "fig1" -> fig1 ()
+          | "table_effectiveness" -> table_effectiveness ()
+          | "table_heuristics" -> table_heuristics ()
+          | "fig3" -> fig3 ()
+          | "fig4" -> ignore (fig4 ~full ())
+          | "fix_stats" -> fix_stats ()
+          | "fig5" -> fig5 ()
+          | "code_size" -> code_size ()
+          | "ablate_reuse" -> ablate_reuse ()
+          | "ablate_reduction" -> ablate_reduction ()
+          | "ablate_heuristic" -> ablate_heuristic ()
+          | "micro" -> micro ()
+          | other -> Fmt.epr "unknown experiment %S@." other)
+        cmds

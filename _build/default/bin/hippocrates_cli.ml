@@ -1,0 +1,342 @@
+(* The hippocrates command-line tool, mirroring the artifact's workflow:
+
+     hippocrates check prog.pmir --entry main --trace-out prog.trace
+     hippocrates fix prog.pmir --trace prog.trace -o prog.fixed.pmir
+     hippocrates fix prog.pmir --entry main -o prog.fixed.pmir
+     hippocrates run prog.pmir --entry main
+     hippocrates corpus
+
+   `check` runs the pmemcheck-style bug finder over a textual PMIR program
+   and writes an on-disk trace (events + site statistics + bug reports);
+   `fix` consumes either that trace or re-runs the finder itself, applies
+   Hippocrates, verifies, and writes the repaired program. *)
+
+open Cmdliner
+open Hippo_pmir
+open Hippo_pmcheck
+open Hippo_core
+
+let read_program path =
+  try Ok (Parser.program_of_file path) with
+  | Parser.Parse_error { line; msg } ->
+      Error (Fmt.str "%s:%d: %s" path line msg)
+  | Sys_error e -> Error e
+
+let validate_or_die prog =
+  match Validate.check prog with
+  | [] -> Ok ()
+  | errors ->
+      Error
+        (Fmt.str "@[<v>invalid program:@,%a@]"
+           (Fmt.list Validate.pp_error) errors)
+
+let parse_args (args : string list) =
+  try Ok (List.map int_of_string args)
+  with Failure _ -> Error "entry arguments must be integers"
+
+let run_workload prog ~entry ~args =
+  let t = Interp.create Interp.default_config prog in
+  let ret =
+    try Ok (Interp.call t entry args) with
+    | Mem.Trap m -> Error (Fmt.str "trap: %s" m)
+    | Interp.Aborted -> Error "abort() called"
+    | Interp.Out_of_fuel -> Error "out of fuel"
+  in
+  Interp.exit_check t;
+  (t, ret)
+
+(* ------------------------------------------------------------------ *)
+
+let prog_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"PROGRAM" ~doc:"Textual PMIR program file.")
+
+let entry_arg =
+  Arg.(
+    value & opt string "main"
+    & info [ "entry" ] ~docv:"FUNC" ~doc:"Entry function to execute.")
+
+let entry_args_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "arg" ] ~docv:"INT" ~doc:"Integer argument for the entry call.")
+
+let exits = [ Cmd.Exit.info 1 ~doc:"on failure" ]
+
+type trace_format = Pmemcheck | Pmtest
+
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("pmemcheck", Pmemcheck); ("pmtest", Pmtest) ]) Pmemcheck
+    & info [ "format" ] ~docv:"FORMAT"
+        ~doc:"Trace dialect: $(b,pmemcheck) (native, with site statistics) \
+              or $(b,pmtest) (assertion-log style; Full-AA repairs only).")
+
+(* check ------------------------------------------------------------- *)
+
+let check_cmd =
+  let trace_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Write the PM operation trace, site statistics and bug \
+                reports to $(docv).")
+  in
+  let run prog_path entry args trace_out format =
+    let ( let* ) = Result.bind in
+    let result =
+      let* prog = read_program prog_path in
+      let* () = validate_or_die prog in
+      let* args = parse_args args in
+      let t, ret = run_workload prog ~entry ~args in
+      (match ret with
+      | Ok r -> Fmt.pr "%s(%a) returned %d@." entry Fmt.(list ~sep:comma int) args r
+      | Error e -> Fmt.pr "execution stopped: %s@." e);
+      let bugs = Interp.bugs t in
+      Fmt.pr "PM stores: %d, flushes: %d, fences: %d@."
+        (Pstate.( (Interp.pstate t).stores_pm_total ))
+        (Pstate.( (Interp.pstate t).flushes_total ))
+        (Pstate.( (Interp.pstate t).fences_total ));
+      Fmt.pr "durability bugs: %d@." (List.length bugs);
+      List.iter (fun b -> Fmt.pr "  %a@." Report.pp_bug b) bugs;
+      (match trace_out with
+      | Some path ->
+          let oc = open_out path in
+          (match format with
+          | Pmemcheck ->
+              output_string oc (Trace.to_string (Interp.trace t));
+              output_char oc '\n';
+              List.iter
+                (fun l -> output_string oc (l ^ "\n"))
+                (Sitestats.to_lines (Interp.site_stats t));
+              List.iter
+                (fun b -> output_string oc (Report.to_line b ^ "\n"))
+                (Interp.raw_bugs t)
+          | Pmtest ->
+              output_string oc
+                (Pmtest_format.to_string ~events:(Interp.trace t)
+                   ~bugs:(Interp.raw_bugs t));
+              output_char oc '\n');
+          close_out oc;
+          Fmt.pr "trace written to %s@." path
+      | None -> ());
+      Ok (if bugs = [] then 0 else 1)
+    in
+    match result with
+    | Ok code -> code
+    | Error e ->
+        Fmt.epr "error: %s@." e;
+        1
+  in
+  Cmd.v
+    (Cmd.info "check" ~exits
+       ~doc:"Run the pmemcheck-style durability bug finder.")
+    Term.(const run $ prog_arg $ entry_arg $ entry_args_arg $ trace_out $ format_arg)
+
+(* fix --------------------------------------------------------------- *)
+
+let load_trace_file ~format path =
+  let ic = open_in path in
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match format with
+  | Pmtest ->
+      let events, bugs = Pmtest_format.of_string content in
+      (* PMTest traces carry no site statistics: Trace-AA unavailable *)
+      (events, Sitestats.create (), bugs)
+  | Pmemcheck ->
+      let lines =
+        String.split_on_char '\n' content
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      let stats_lines, rest =
+        List.partition
+          (fun l -> String.length l > 4 && String.sub l 0 5 = "STAT;")
+          lines
+      in
+      let bug_lines, event_lines =
+        List.partition
+          (fun l -> String.length l > 3 && String.sub l 0 4 = "BUG;")
+          rest
+      in
+      let events = List.map Trace.of_line event_lines in
+      let stats = Sitestats.of_lines stats_lines in
+      let bugs = List.map Report.of_line bug_lines in
+      (events, stats, bugs)
+
+let fix_cmd =
+  let trace_in =
+    Arg.(
+      value & opt (some file) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Bug-finder trace produced by $(b,check --trace-out); when \
+                absent the finder is run in-process on $(b,--entry).")
+  in
+  let output =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the repaired program to $(docv) (default: stdout).")
+  in
+  let no_hoist =
+    Arg.(
+      value & flag
+      & info [ "no-hoist" ]
+          ~doc:"Disable Phase 3 (interprocedural hoisting); produce only \
+                intraprocedural fixes.")
+  in
+  let oracle_choice =
+    Arg.(
+      value
+      & opt (enum [ ("full-aa", Driver.Full_aa); ("trace-aa", Driver.Trace_aa) ])
+          Driver.Full_aa
+      & info [ "oracle" ] ~docv:"ORACLE"
+          ~doc:"Alias oracle for the heuristic: $(b,full-aa) (whole-program \
+                Andersen) or $(b,trace-aa) (dynamic observations only).")
+  in
+  let diff_flag =
+    Arg.(
+      value & flag
+      & info [ "diff" ]
+          ~doc:"Print a patch-style summary of the inserted fixes to \
+                stderr.")
+  in
+  let portable_flag =
+    Arg.(
+      value & flag
+      & info [ "portable" ]
+          ~doc:"Emit fixes as libpmem-style pmem_flush/pmem_drain calls \
+                (runtime-dispatched, PMDK developer style) instead of raw \
+                clwb/sfence; requires the program to link the runtime.")
+  in
+  let run prog_path entry args trace_in output no_hoist oracle_choice format
+      portable diff =
+    let ( let* ) = Result.bind in
+    let result =
+      let* prog = read_program prog_path in
+      let* () = validate_or_die prog in
+      let* args = parse_args args in
+      let options =
+        {
+          Driver.default_options with
+          hoisting = not no_hoist;
+          oracle = oracle_choice;
+          style = (if portable then Apply.Portable else Apply.Direct);
+        }
+      in
+      let* repaired, report =
+        match trace_in with
+        | Some path ->
+            let _, stats, raw_bugs = load_trace_file ~format path in
+            let bugs = Report.dedup raw_bugs in
+            let oracle =
+              match oracle_choice with
+              | Driver.Full_aa -> Hippo_alias.Oracle.of_program prog
+              | Driver.Trace_aa -> Hippo_alias.Oracle.trace_aa stats
+            in
+            let plan, _, eliminated = Driver.plan ~options ~oracle prog bugs in
+            let repaired, stats' =
+              Apply.apply ~style:options.Driver.style ~oracle prog plan
+            in
+            Ok
+              ( repaired,
+                Fmt.str
+                  "bugs: %d; fixes: %d (%d intra, %d inter); reduction \
+                   eliminated %d; clones: %d"
+                  (List.length bugs)
+                  (List.length plan.Fix.fixes)
+                  (Fix.count_intra plan) (Fix.count_hoisted plan) eliminated
+                  stats'.Apply.clones_created )
+        | None ->
+            let workload t = ignore (Interp.call t entry args) in
+            let r = Driver.repair ~options ~name:prog_path ~workload prog in
+            if not (Verify.effective r.Driver.verification) then
+              Error "verification failed: residual bugs after repair"
+            else if not (Verify.harm_free r.Driver.verification) then
+              Error "verification failed: repaired program diverges"
+            else
+              Ok (r.Driver.repaired, Fmt.str "%a" Driver.pp_summary r)
+      in
+      Fmt.epr "%s@." report;
+      if diff then
+        Fmt.epr "%s@." (Diff.report ~original:prog ~repaired);
+      let text = Printer.to_string repaired in
+      (match output with
+      | Some path ->
+          let oc = open_out path in
+          output_string oc text;
+          close_out oc
+      | None -> print_string text);
+      Ok 0
+    in
+    match result with
+    | Ok code -> code
+    | Error e ->
+        Fmt.epr "error: %s@." e;
+        1
+  in
+  Cmd.v
+    (Cmd.info "fix" ~exits ~doc:"Repair durability bugs with Hippocrates.")
+    Term.(
+      const run $ prog_arg $ entry_arg $ entry_args_arg $ trace_in $ output
+      $ no_hoist $ oracle_choice $ format_arg $ portable_flag $ diff_flag)
+
+(* run --------------------------------------------------------------- *)
+
+let run_cmd =
+  let run prog_path entry args =
+    let ( let* ) = Result.bind in
+    let result =
+      let* prog = read_program prog_path in
+      let* () = validate_or_die prog in
+      let* args = parse_args args in
+      let t, ret = run_workload prog ~entry ~args in
+      (match ret with
+      | Ok r -> Fmt.pr "returned %d@." r
+      | Error e -> Fmt.pr "execution stopped: %s@." e);
+      (match Interp.output t with
+      | [] -> ()
+      | out -> Fmt.pr "output: %a@." Fmt.(list ~sep:comma int) out);
+      Ok 0
+    in
+    match result with
+    | Ok code -> code
+    | Error e ->
+        Fmt.epr "error: %s@." e;
+        1
+  in
+  Cmd.v
+    (Cmd.info "run" ~exits ~doc:"Execute a PMIR program.")
+    Term.(const run $ prog_arg $ entry_arg $ entry_args_arg)
+
+(* corpus ------------------------------------------------------------ *)
+
+let corpus_cmd =
+  let run () =
+    let cases =
+      Hippo_pmdk_mini.Bugs.all @ Hippo_apps.Pclht.cases
+      @ Hippo_apps.Memcached_mini.cases
+    in
+    List.iter
+      (fun (c : Hippo_pmdk_mini.Case.t) ->
+        Fmt.pr "%-12s %-14s %-55s %a@." c.Hippo_pmdk_mini.Case.id c.system
+          c.title Hippo_pmdk_mini.Case.pp_shape c.expected_shape)
+      cases;
+    0
+  in
+  Cmd.v
+    (Cmd.info "corpus" ~exits ~doc:"List the reproduced bug corpus.")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "hippocrates" ~version:"1.0.0"
+      ~doc:"Automatically fix persistent-memory durability bugs"
+  in
+  exit (Cmd.eval' (Cmd.group info [ check_cmd; fix_cmd; run_cmd; corpus_cmd ]))

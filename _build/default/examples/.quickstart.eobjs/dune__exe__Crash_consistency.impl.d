@@ -1,0 +1,1 @@
+examples/crash_consistency.ml: Crashsim Driver Fix Fmt Fun Hippo_apps Hippo_core Hippo_pmcheck List Pclht Verify

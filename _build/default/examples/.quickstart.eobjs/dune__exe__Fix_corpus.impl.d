@@ -1,0 +1,1 @@
+examples/fix_corpus.ml: Bugs Case Driver Fix Fmt Fun Hippo_apps Hippo_core Hippo_pmcheck Hippo_pmdk_mini Lazy List Report Verify

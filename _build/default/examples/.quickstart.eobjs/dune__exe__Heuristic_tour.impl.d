@@ -1,0 +1,1 @@
+examples/heuristic_tour.ml: Builder Diff Driver Fmt Heuristic Hippo_alias Hippo_core Hippo_pmcheck Hippo_pmir Instr Interp List Loc Printer Program Report Value

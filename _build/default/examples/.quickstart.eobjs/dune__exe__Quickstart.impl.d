@@ -1,0 +1,1 @@
+examples/quickstart.ml: Builder Driver Fix Fmt Hippo_core Hippo_pmcheck Hippo_pmir Interp List Printer Report Validate Value

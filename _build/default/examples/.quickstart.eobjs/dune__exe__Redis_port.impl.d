@@ -1,0 +1,1 @@
+examples/redis_port.ml: Array Driver Fmt Hippo_apps Hippo_core List Redis_bench Sys

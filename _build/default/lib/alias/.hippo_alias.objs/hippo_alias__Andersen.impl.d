@@ -1,0 +1,1 @@
+lib/alias/andersen.ml: Array Fmt Func Hashtbl Hippo_pmcheck Hippo_pmir Iid Instr Int List Option Program Set String Value

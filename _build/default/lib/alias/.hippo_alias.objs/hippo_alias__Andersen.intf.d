@@ -1,0 +1,1 @@
+lib/alias/andersen.mli: Format Hippo_pmir Iid Program Set Value

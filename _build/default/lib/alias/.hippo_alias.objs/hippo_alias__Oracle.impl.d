@@ -1,0 +1,1 @@
+lib/alias/oracle.ml: Andersen Fmt Fun Hippo_pmcheck Hippo_pmir Iid Instr Layout List Program Sitestats Value

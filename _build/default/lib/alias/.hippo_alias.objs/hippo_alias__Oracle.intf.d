@@ -1,0 +1,1 @@
+lib/alias/oracle.mli: Andersen Hippo_pmcheck Hippo_pmir Iid Program Sitestats

@@ -1,0 +1,141 @@
+(** Alias oracles: the two heuristic information sources of §6.1.
+
+    The hoisting heuristic (paper §4.3) needs two judgements:
+
+    - {e site scores} — for a candidate fix location (the PM-modifying
+      store itself, or a call site on its stack), the number of persistent
+      aliases minus the number of volatile aliases of the location's
+      pointer argument(s); [None] encodes the paper's [-inf] for call sites
+      with no pointer arguments;
+    - {e store PM-ness} — whether a store inside a subprogram being made
+      persistent may modify PM (those get flushes in the clone).
+
+    Full-AA answers from the whole-program Andersen analysis; Trace-AA
+    answers purely from the dynamic per-site observations in the trace.
+    The paper reports both produce identical fixes on all test systems —
+    experiment E3 replays that comparison. *)
+
+open Hippo_pmir
+open Hippo_pmcheck
+
+type t = {
+  name : string;
+  store_score : Program.t -> Iid.t -> int option;
+      (** score of fixing at the store itself *)
+  call_score : Program.t -> Iid.t -> int option;
+      (** score of hoisting to this call site *)
+  store_may_touch_pm : Program.t -> Iid.t -> bool;
+      (** must this store be flushed inside a persistent subprogram? *)
+}
+
+let score_of_counts ~pm ~vol = pm - vol
+
+(* ------------------------------------------------------------------ *)
+
+let full_aa (analysis : Andersen.t) : t =
+  let instr_of prog iid =
+    match Program.find_instr prog iid with
+    | Some i -> i
+    | None -> invalid_arg (Fmt.str "oracle: unknown instruction %a" Iid.pp iid)
+  in
+  let value_score prog ~func v =
+    if not (Andersen.is_pointer analysis ~func v) then None
+    else
+      let node =
+        match v with
+        | Value.Reg r -> Some (Andersen.Var (func, r))
+        | _ -> None
+      in
+      match node with
+      | Some n ->
+          Some
+            (score_of_counts
+               ~pm:(Andersen.pm_count analysis n)
+               ~vol:(Andersen.vol_count analysis n))
+      | None -> (
+          (* Globals and immediates: classify directly. *)
+          match v with
+          | Value.Global _ -> Some (score_of_counts ~pm:0 ~vol:1)
+          | Value.Imm n when Layout.is_pm n -> Some 1
+          | Value.Imm _ -> Some (-1)
+          | _ -> None)
+    [@@ocaml.warning "-27"]
+  in
+  let store_score prog iid =
+    let i = instr_of prog iid in
+    match Instr.op i with
+    | Instr.Store { addr; _ } ->
+        value_score prog ~func:(Iid.func iid) addr
+    | _ -> None
+  in
+  let call_score prog iid =
+    (* Only PM-relevant pointer arguments are scored: an argument that can
+       never reach persistent memory cannot be the path of the buggy store,
+       so (as in the paper's Listing 6, where only [addr] is considered) it
+       does not penalize the candidate. Call sites with no PM-relevant
+       pointer argument score -inf ([None]): making their callee persistent
+       cannot cover the bug. *)
+    let i = instr_of prog iid in
+    match Instr.op i with
+    | Instr.Call { args; _ } ->
+        let func = Iid.func iid in
+        let scores =
+          List.filter_map
+            (fun v ->
+              if Andersen.may_be_pm analysis ~func v then
+                value_score prog ~func v
+              else None)
+            args
+        in
+        if scores = [] then None else Some (List.fold_left ( + ) 0 scores)
+    | _ -> None
+  in
+  let store_may_touch_pm prog iid =
+    let i = instr_of prog iid in
+    match Instr.op i with
+    | Instr.Store { addr; _ } ->
+        Andersen.may_be_pm analysis ~func:(Iid.func iid) addr
+    | _ -> false
+  in
+  { name = "Full-AA"; store_score; call_score; store_may_touch_pm }
+
+let of_program prog = full_aa (Andersen.analyze prog)
+
+(* ------------------------------------------------------------------ *)
+
+let trace_aa (stats : Sitestats.t) : t =
+  let obs_score site arg =
+    match Sitestats.find stats ~site ~arg with
+    | None -> None
+    | Some o ->
+        Some
+          (score_of_counts
+             ~pm:(if o.Sitestats.pm > 0 then 1 else 0)
+             ~vol:(if o.Sitestats.vol > 0 then 1 else 0))
+  in
+  let store_score _prog iid = obs_score iid (-1) in
+  let call_score prog iid =
+    (* Dynamic counterpart of Full-AA's PM-relevance filter: argument
+       positions never observed holding a PM pointer are excluded. *)
+    let nargs =
+      match Program.find_instr prog iid with
+      | Some i -> (
+          match Instr.op i with
+          | Instr.Call { args; _ } -> List.length args
+          | _ -> 0)
+      | None -> 0
+    in
+    let pm_relevant k =
+      match Sitestats.find stats ~site:iid ~arg:k with
+      | Some o when o.Sitestats.pm > 0 -> obs_score iid k
+      | _ -> None
+    in
+    let scores = List.filter_map pm_relevant (List.init nargs Fun.id) in
+    if scores = [] then None else Some (List.fold_left ( + ) 0 scores)
+  in
+  let store_may_touch_pm _prog iid =
+    match Sitestats.find stats ~site:iid ~arg:(-1) with
+    | Some o -> o.Sitestats.pm > 0
+    | None -> false
+  in
+  { name = "Trace-AA"; store_score; call_score; store_may_touch_pm }

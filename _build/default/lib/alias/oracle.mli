@@ -1,0 +1,37 @@
+(** Alias oracles: the two heuristic information sources of §6.1.
+
+    The hoisting heuristic (paper §4.3) needs two judgements:
+
+    - {e site scores}: for a candidate fix location (the PM-modifying
+      store itself, or a call site on its stack), persistent aliases minus
+      volatile aliases of the location's PM-relevant pointer argument(s);
+      [None] encodes the paper's [-inf] for call sites with no such
+      argument;
+    - {e store PM-ness}: whether a store inside a subprogram being made
+      persistent may modify PM (those get flushes in the clone).
+
+    Full-AA answers from the whole-program Andersen analysis; Trace-AA
+    purely from the dynamic per-site observations in the trace. The paper
+    reports both produce identical fixes on all test systems — experiment
+    E3 replays that comparison. *)
+
+open Hippo_pmir
+open Hippo_pmcheck
+
+type t = {
+  name : string;
+  store_score : Program.t -> Iid.t -> int option;
+  call_score : Program.t -> Iid.t -> int option;
+  store_may_touch_pm : Program.t -> Iid.t -> bool;
+}
+
+val score_of_counts : pm:int -> vol:int -> int
+
+(** Build the static oracle from a solved analysis. *)
+val full_aa : Andersen.t -> t
+
+(** Analyze the program and build the static oracle. *)
+val of_program : Program.t -> t
+
+(** Build the dynamic oracle from a run's site statistics. *)
+val trace_aa : Sitestats.t -> t

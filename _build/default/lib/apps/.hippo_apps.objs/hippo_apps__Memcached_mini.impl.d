@@ -1,0 +1,1 @@
+lib/apps/memcached_mini.ml: Builder Char Hippo_pmcheck Hippo_pmdk_mini Hippo_pmir Interp Mem Printf Program Report String Validate Value

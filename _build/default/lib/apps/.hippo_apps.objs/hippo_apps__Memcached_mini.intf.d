@@ -1,0 +1,1 @@
+lib/apps/memcached_mini.mli: Hippo_pmcheck Hippo_pmdk_mini Hippo_pmir Interp Program

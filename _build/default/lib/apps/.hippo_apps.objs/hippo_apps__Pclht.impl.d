@@ -1,0 +1,1 @@
+lib/apps/pclht.ml: Builder Hippo_pmcheck Hippo_pmdk_mini Hippo_pmir Interp Program Report Validate Value

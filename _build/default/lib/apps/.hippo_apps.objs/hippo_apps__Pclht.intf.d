@@ -1,0 +1,1 @@
+lib/apps/pclht.mli: Hippo_pmcheck Hippo_pmdk_mini Hippo_pmir Interp Program

@@ -1,0 +1,1 @@
+lib/apps/redis_bench.ml: Cost Driver Fmt Hippo_core Hippo_perfmodel Hippo_pmcheck Hippo_pmir Hippo_ycsb Interp List Program Redis_mini Stats

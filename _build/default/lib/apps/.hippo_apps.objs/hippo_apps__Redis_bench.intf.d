@@ -1,0 +1,1 @@
+lib/apps/redis_bench.mli: Cost Driver Format Hippo_core Hippo_perfmodel Hippo_pmcheck Hippo_pmir Hippo_ycsb Interp Program Report

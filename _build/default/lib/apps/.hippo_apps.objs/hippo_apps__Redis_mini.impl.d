@@ -1,0 +1,1 @@
+lib/apps/redis_mini.ml: Builder Hippo_pmcheck Hippo_pmdk_mini Hippo_pmir Hippo_ycsb Interp Mem Program String Validate Value

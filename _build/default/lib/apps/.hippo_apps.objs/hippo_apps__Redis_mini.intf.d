@@ -1,0 +1,1 @@
+lib/apps/redis_mini.mli: Hippo_pmcheck Hippo_pmir Hippo_ycsb Interp Program

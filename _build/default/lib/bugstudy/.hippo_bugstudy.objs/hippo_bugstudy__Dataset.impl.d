@@ -1,0 +1,1 @@
+lib/bugstudy/dataset.ml: Float Fmt List String

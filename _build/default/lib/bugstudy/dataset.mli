@@ -1,0 +1,39 @@
+(** The §3 bug study: the 26 PMDK issues found with pmemcheck and fixed by
+    developers (Fig. 1).
+
+    Fig. 1 publishes group-level aggregates; per-issue values here are
+    reconstructed to reproduce those aggregates exactly (core group:
+    17 commits / 33 days / 66 max; misuse group: 2 / 15 / 38; overall:
+    13 / 28 / 66; 16/26 interprocedural fixes). *)
+
+type kind = Core_bug | Api_misuse
+
+val kind_to_string : kind -> string
+
+type issue = {
+  number : int;
+  kind : kind;
+  commits : int option;  (** commits to a passing build; None = no data *)
+  days_open : int option;
+  fix_interprocedural : bool;  (** §3.2 classification of the dev fix *)
+}
+
+(** All 26 studied issues, in Fig. 1's order. *)
+val issues : issue list
+
+type row = {
+  label : string;
+  members : int list;
+  commits_avg : int option;
+  days_avg : int option;
+  days_max : int option;
+  row_kind : string;
+}
+
+(** Fig. 1's four groups plus the overall row (over issues with data). *)
+val figure1 : unit -> row list
+
+(** §3.2's headline: interprocedural fixes out of all studied fixes. *)
+val interprocedural_fraction : unit -> int * int
+
+val pp_row : Format.formatter -> row -> unit

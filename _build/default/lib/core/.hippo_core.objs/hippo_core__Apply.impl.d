@@ -1,0 +1,1 @@
+lib/core/apply.ml: Fix Fmt Func Hippo_alias Hippo_pmir Iid Instr List Option Program Transform Validate Value

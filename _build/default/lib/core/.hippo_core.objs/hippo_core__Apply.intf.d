@@ -1,0 +1,1 @@
+lib/core/apply.mli: Fix Hippo_alias Hippo_pmir Program

@@ -1,0 +1,1 @@
+lib/core/compute.ml: Fix Fmt Hippo_pmcheck Hippo_pmir Iid Instr List Program Report Value

@@ -1,0 +1,1 @@
+lib/core/compute.mli: Fix Hippo_pmcheck Hippo_pmir Iid Program Report Value

@@ -1,0 +1,1 @@
+lib/core/diff.ml: Fmt Func Hippo_pmir Iid Instr List Loc Program String

@@ -1,0 +1,1 @@
+lib/core/diff.mli: Format Func Hippo_pmir Instr Program

@@ -1,0 +1,1 @@
+lib/core/driver.ml: Apply Compute Fix Fmt Gc Heuristic Hippo_alias Hippo_pmcheck Hippo_pmir Interp List Program Reduce Report Unix_time Verify

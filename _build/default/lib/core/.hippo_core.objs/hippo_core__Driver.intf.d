@@ -1,0 +1,1 @@
+lib/core/driver.mli: Apply Fix Format Heuristic Hippo_alias Hippo_pmcheck Hippo_pmir Interp Program Report Verify

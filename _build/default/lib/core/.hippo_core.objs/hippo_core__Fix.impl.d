@@ -1,0 +1,1 @@
+lib/core/fix.ml: Fmt Hippo_pmcheck Hippo_pmir Iid Instr List Report String Value

@@ -1,0 +1,1 @@
+lib/core/fix.mli: Format Hippo_pmcheck Hippo_pmir Iid Instr Report Value

@@ -1,0 +1,1 @@
+lib/core/heuristic.ml: Fix Hippo_alias Hippo_pmcheck Hippo_pmir Iid List Option Program Reduce Report Trace

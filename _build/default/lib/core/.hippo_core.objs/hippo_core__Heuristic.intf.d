@@ -1,0 +1,1 @@
+lib/core/heuristic.mli: Fix Hippo_alias Hippo_pmcheck Hippo_pmir Iid Program Reduce Report

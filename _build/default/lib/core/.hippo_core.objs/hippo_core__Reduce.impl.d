@@ -1,0 +1,1 @@
+lib/core/reduce.ml: Fix Func Hippo_pmcheck Hippo_pmir Iid Instr List Program Report Value

@@ -1,0 +1,1 @@
+lib/core/reduce.mli: Fix Hippo_pmcheck Hippo_pmir Program Report

@@ -1,0 +1,1 @@
+lib/core/transform.ml: Clone Fix Fmt Func Hashtbl Hippo_alias Hippo_pmir Iid Instr List Program

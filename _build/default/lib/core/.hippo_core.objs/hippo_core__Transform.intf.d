@@ -1,0 +1,1 @@
+lib/core/transform.mli: Fix Hippo_alias Hippo_pmir Program

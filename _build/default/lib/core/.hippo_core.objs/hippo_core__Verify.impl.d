@@ -1,0 +1,1 @@
+lib/core/verify.ml: Bytes Fmt Hippo_pmcheck Hippo_pmir Interp List Mem Program Report

@@ -1,0 +1,1 @@
+lib/core/verify.mli: Format Hippo_pmcheck Hippo_pmir Interp Program Report

@@ -1,0 +1,35 @@
+(** Fix application (Fig. 2 step 4): rewrite the program with the final
+    plan. Hoists run first, then all intraprocedural insertions in one
+    pass; flush insertions at a point precede fence insertions at the same
+    point, preserving [X -> F(X) -> M]. The rewritten program is
+    re-validated: a structural error here would mean the repair engine
+    broke "do no harm". *)
+
+open Hippo_pmir
+
+(** How intraprocedural fixes are spelled (§6.2's discussion): [Direct]
+    inserts raw [clwb]/[sfence] instructions (the default); [Portable]
+    inserts libpmem-style [pmem_flush]/[pmem_drain] calls — the
+    machine-portable shape PMDK developers chose for issues 452/940/943 —
+    when the program links the runtime, falling back to [Direct]
+    otherwise. *)
+type style = Direct | Portable
+
+type stats = {
+  intra_flushes : int;
+  intra_fences : int;
+  hoists : int;
+  clones_created : int;
+  instrs_added : int;
+}
+
+(** Raises [Invalid_argument] when a fix references a nonexistent
+    insertion point or call site; raises {!Validate.Invalid} if the
+    rewritten program is malformed. *)
+val apply :
+  ?reuse:bool ->
+  ?style:style ->
+  oracle:Hippo_alias.Oracle.t ->
+  Program.t ->
+  Fix.plan ->
+  Program.t * stats

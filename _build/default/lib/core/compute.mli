@@ -1,0 +1,23 @@
+(** Phase 1: intraprocedural fix computation (paper §4.2, Fig. 2 step 3).
+
+    Every durability bug admits a safe intraprocedural fix (§3.3):
+    missing-flush — a flush of the store's address immediately after the
+    store (Theorem 2); missing-fence — a fence immediately after the flush
+    that covered the store (Theorem 1); missing-flush&fence — both, flush
+    first (Theorem 3). *)
+
+open Hippo_pmir
+open Hippo_pmcheck
+
+exception Cannot_fix of string
+(** raised when a trace report does not correspond to a store in the
+    program (a stale or corrupted trace) *)
+
+(** The address operand of a store instruction. *)
+val store_addr : Program.t -> Iid.t -> Value.t
+
+(** Intraprocedural fixes for one bug, in insertion order. *)
+val fixes_for : Program.t -> Report.bug -> Fix.intra list
+
+(** [(bug, fixes)] for every bug. *)
+val phase1 : Program.t -> Report.bug list -> (Report.bug * Fix.intra list) list

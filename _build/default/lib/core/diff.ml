@@ -1,0 +1,93 @@
+(** Human-readable repair reports: what Hippocrates changed, at source
+    level.
+
+    §5.2 of the paper discusses mapping the generated fixes back onto
+    source code; because Hippocrates only inserts instructions and adds
+    cloned functions, the "decompilation" problem collapses to an
+    insertion diff. Instructions are matched across the original and
+    repaired programs by their stable identities, so the diff is exact,
+    not heuristic. *)
+
+open Hippo_pmir
+
+type change =
+  | Inserted of { func : string; after : Instr.t option; instr : Instr.t }
+      (** a flush/fence (or portable persist call) inserted after the
+          given instruction ([None] = at function entry) *)
+  | New_function of { func : Func.t; cloned_from : string option }
+
+(** [changes ~original ~repaired] computes the insertion diff. *)
+let changes ~(original : Program.t) ~(repaired : Program.t) : change list =
+  let orig_iids = Iid.Tbl.create 1024 in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun i -> Iid.Tbl.replace orig_iids (Instr.iid i) ())
+        (Func.instrs f))
+    (Program.funcs original);
+  let acc = ref [] in
+  List.iter
+    (fun f ->
+      let name = Func.name f in
+      match Program.find original name with
+      | None ->
+          (* a persistent-subprogram clone: recover its origin by name *)
+          let cloned_from =
+            match String.rindex_opt name '_' with
+            | Some k when String.sub name k (String.length name - k) |> fun s ->
+                          String.length s >= 3 && String.sub s 0 3 = "_PM" ->
+                let base = String.sub name 0 k in
+                if Program.mem original base then Some base else None
+            | _ -> None
+          in
+          acc := New_function { func = f; cloned_from } :: !acc
+      | Some _ ->
+          (* walk instructions; anything with an unknown identity was
+             inserted by the repair *)
+          List.iter
+            (fun (b : Func.block) ->
+              let prev = ref None in
+              List.iter
+                (fun i ->
+                  if Iid.Tbl.mem orig_iids (Instr.iid i) then prev := Some i
+                  else
+                    acc :=
+                      Inserted { func = name; after = !prev; instr = i }
+                      :: !acc)
+                b.instrs)
+            (Func.blocks f))
+    (Program.funcs repaired);
+  List.rev !acc
+
+let pp_change ppf = function
+  | Inserted { func; after; instr } -> (
+      match after with
+      | Some a ->
+          Fmt.pf ppf "@[<v>--- @@%s at %a@,    %a@,  + %a@]" func Loc.pp
+            (Instr.loc a) Instr.pp_op (Instr.op a) Instr.pp_op (Instr.op instr)
+      | None ->
+          Fmt.pf ppf "@[<v>--- @@%s (entry)@,  + %a@]" func Instr.pp_op
+            (Instr.op instr))
+  | New_function { func; cloned_from } ->
+      Fmt.pf ppf "@[<v>+++ new function @@%s%s (%d instructions)@]"
+        (Func.name func)
+        (match cloned_from with
+        | Some base -> Fmt.str " (persistent subprogram of @@%s)" base
+        | None -> "")
+        (List.length (Func.instrs func))
+
+(** [report ~original ~repaired] renders the whole repair as a patch-style
+    summary. *)
+let report ~original ~repaired : string =
+  let cs = changes ~original ~repaired in
+  if cs = [] then "no changes"
+  else Fmt.str "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_change) cs
+
+(** Count of inserted instructions (insertions plus clone bodies). *)
+let inserted_instrs ~original ~repaired =
+  List.fold_left
+    (fun n -> function
+      | Inserted _ -> n + 1
+      | New_function { func; _ } -> n + List.length (Func.instrs func))
+    0
+    (changes ~original ~repaired)

@@ -1,0 +1,24 @@
+(** Human-readable repair reports: what Hippocrates changed, at source
+    level.
+
+    Because Hippocrates only inserts instructions and adds cloned
+    functions, §5.2's source-mapping problem collapses to an insertion
+    diff; instructions are matched across the original and repaired
+    programs by their stable identities, so the diff is exact. *)
+
+open Hippo_pmir
+
+type change =
+  | Inserted of { func : string; after : Instr.t option; instr : Instr.t }
+      (** a flush/fence (or portable persist call) inserted after the
+          given instruction ([None] = at function entry) *)
+  | New_function of { func : Func.t; cloned_from : string option }
+
+val changes : original:Program.t -> repaired:Program.t -> change list
+val pp_change : Format.formatter -> change -> unit
+
+(** Patch-style summary of the whole repair. *)
+val report : original:Program.t -> repaired:Program.t -> string
+
+(** Inserted instructions (insertions plus clone bodies). *)
+val inserted_instrs : original:Program.t -> repaired:Program.t -> int

@@ -1,0 +1,151 @@
+(** End-to-end repair pipeline (Fig. 2).
+
+    Step 1: run the workload under the bug finder, collecting the trace,
+    the per-site pointer observations and the bug reports. Step 2: locate
+    each bug's store in the IR (identities in the trace are IR identities,
+    as in the LLVM implementation). Step 3: compute fixes — Phase 1
+    intraprocedural, Phase 2 reduction, Phase 3 hoisting. Step 4: apply,
+    validate, and re-run the bug finder to confirm zero residual bugs and
+    observational equivalence. *)
+
+open Hippo_pmir
+open Hippo_pmcheck
+
+type oracle_choice = Full_aa | Trace_aa
+
+let oracle_name = function Full_aa -> "Full-AA" | Trace_aa -> "Trace-AA"
+
+type options = {
+  oracle : oracle_choice;
+  hoisting : bool;  (** Phase 3 on/off (off = the H-intra configuration) *)
+  reduction : bool;  (** Phase 2 on/off (ablation A2) *)
+  clone_reuse : bool;  (** share persistent subprograms (ablation A1) *)
+  style : Apply.style;  (** raw clwb/sfence vs portable libpmem calls *)
+}
+
+let default_options =
+  {
+    oracle = Full_aa;
+    hoisting = true;
+    reduction = true;
+    clone_reuse = true;
+    style = Apply.Direct;
+  }
+
+type result = {
+  target : string;
+  bugs : Report.bug list;
+  plan : Fix.plan;
+  decisions : Heuristic.decision list;
+  repaired : Program.t;
+  apply_stats : Apply.stats;
+  verification : Verify.outcome;
+  raw_fix_count : int;
+  reduce_eliminated : int;
+  input_instrs : int;  (** program size before repair, in IR instructions *)
+  output_instrs : int;
+  time_s : float;  (** wall-clock time of the whole pipeline *)
+  peak_heap_bytes : int;
+  trace_events : int;
+}
+
+let no_reduction prog (per_bug : (Report.bug * Fix.intra list) list) :
+    Reduce.reduced list =
+  ignore prog;
+  List.concat_map
+    (fun (bug, fixes) ->
+      List.map (fun fix -> { Reduce.fix; bugs = [ bug ] }) fixes)
+    per_bug
+
+(** [plan ?options ~oracle prog bugs] runs Steps 2-3 only: compute the fix
+    plan for externally-supplied bug reports (e.g. parsed from an on-disk
+    trace file, the artifact's command-line mode). *)
+let plan ?(options = default_options) ~oracle prog (bugs : Report.bug list) :
+    Fix.plan * Heuristic.decision list * int =
+  let per_bug = Compute.phase1 prog bugs in
+  let raw = List.fold_left (fun n (_, fs) -> n + List.length fs) 0 per_bug in
+  let reduced =
+    if options.reduction then Reduce.phase2 prog per_bug
+    else no_reduction prog per_bug
+  in
+  let plan, decisions =
+    if options.hoisting then Heuristic.phase3 oracle prog reduced
+    else (Heuristic.phase3_disabled reduced, [])
+  in
+  (plan, decisions, raw - List.length reduced)
+
+(** [repair ?options ~name ~workload ~config prog] runs the full pipeline.
+    [workload] drives the program through the interpreter (host calls plus
+    any scratch-buffer setup); the same workload is replayed on the
+    repaired program for verification. *)
+let repair ?(options = default_options) ~name
+    ~(workload : Interp.t -> unit) ?(config = Interp.default_config) prog :
+    result =
+  let started = Unix_time.now () in
+  (* Step 1: bug finding. *)
+  let cfg = { config with Interp.trace = true } in
+  let t = Interp.create cfg prog in
+  (try workload t with Interp.Stopped_at_crash -> ());
+  Interp.exit_check t;
+  let bugs = Interp.bugs t in
+  let stats = Interp.site_stats t in
+  let trace_events = List.length (Interp.trace t) in
+  (* Step 2/3: fixes. *)
+  let oracle =
+    match options.oracle with
+    | Full_aa -> Hippo_alias.Oracle.of_program prog
+    | Trace_aa -> Hippo_alias.Oracle.trace_aa stats
+  in
+  let per_bug = Compute.phase1 prog bugs in
+  let raw_fix_count =
+    List.fold_left (fun n (_, fs) -> n + List.length fs) 0 per_bug
+  in
+  let reduced =
+    if options.reduction then Reduce.phase2 prog per_bug
+    else no_reduction prog per_bug
+  in
+  let reduce_eliminated = raw_fix_count - List.length reduced in
+  let plan, decisions =
+    if options.hoisting then Heuristic.phase3 oracle prog reduced
+    else (Heuristic.phase3_disabled reduced, [])
+  in
+  (* Step 4: apply + verify. *)
+  let repaired, apply_stats =
+    Apply.apply ~reuse:options.clone_reuse ~style:options.style ~oracle prog
+      plan
+  in
+  let verification =
+    Verify.check ~workload ~config:cfg ~original:prog ~repaired
+  in
+  let time_s = Unix_time.now () -. started in
+  let peak_heap_bytes = (Gc.quick_stat ()).Gc.top_heap_words * 8 in
+  {
+    target = name;
+    bugs;
+    plan;
+    decisions;
+    repaired;
+    apply_stats;
+    verification;
+    raw_fix_count;
+    reduce_eliminated;
+    input_instrs = Program.size prog;
+    output_instrs = Program.size repaired;
+    time_s;
+    peak_heap_bytes;
+    trace_events;
+  }
+
+let pp_summary ppf r =
+  Fmt.pf ppf
+    "@[<v>target: %s@,bugs: %d@,fixes: %d (%d intraprocedural, %d \
+     interprocedural)@,reduction eliminated: %d@,IR size: %d -> %d \
+     (+%.3f%%)@,verification: %a@]"
+    r.target (List.length r.bugs)
+    (List.length r.plan.Fix.fixes)
+    (Fix.count_intra r.plan) (Fix.count_hoisted r.plan) r.reduce_eliminated
+    r.input_instrs r.output_instrs
+    (100.0
+    *. float_of_int (r.output_instrs - r.input_instrs)
+    /. float_of_int (max 1 r.input_instrs))
+    Verify.pp r.verification

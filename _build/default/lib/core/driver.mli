@@ -1,0 +1,73 @@
+(** End-to-end repair pipeline (Fig. 2).
+
+    Step 1: run the workload under the bug finder, collecting the trace,
+    per-site pointer observations and bug reports. Step 2: locate each
+    bug's store in the IR. Step 3: compute fixes — Phase 1
+    intraprocedural, Phase 2 reduction, Phase 3 hoisting. Step 4: apply,
+    validate, and re-run the bug finder to confirm zero residual bugs and
+    observational equivalence.
+
+    {[
+      let result = Driver.repair ~name:"myapp"
+          ~workload:(fun t -> ignore (Interp.call t "main" [])) prog in
+      assert (Verify.effective result.verification);
+      Printer.to_string result.repaired
+    ]} *)
+
+open Hippo_pmir
+open Hippo_pmcheck
+
+type oracle_choice = Full_aa | Trace_aa
+
+val oracle_name : oracle_choice -> string
+
+type options = {
+  oracle : oracle_choice;
+  hoisting : bool;  (** Phase 3 on/off (off = the H-intra configuration) *)
+  reduction : bool;  (** Phase 2 on/off (ablation A2) *)
+  clone_reuse : bool;  (** share persistent subprograms (ablation A1) *)
+  style : Apply.style;  (** raw clwb/sfence vs portable libpmem calls *)
+}
+
+val default_options : options
+
+type result = {
+  target : string;
+  bugs : Report.bug list;
+  plan : Fix.plan;
+  decisions : Heuristic.decision list;
+  repaired : Program.t;
+  apply_stats : Apply.stats;
+  verification : Verify.outcome;
+  raw_fix_count : int;
+  reduce_eliminated : int;
+  input_instrs : int;
+  output_instrs : int;
+  time_s : float;  (** wall-clock time of the whole pipeline (Fig. 5) *)
+  peak_heap_bytes : int;
+  trace_events : int;
+}
+
+(** [plan ?options ~oracle prog bugs] runs Steps 2-3 only: compute the fix
+    plan for externally-supplied bug reports (e.g. parsed from an on-disk
+    trace file, the artifact's command-line mode). Returns the plan, the
+    hoisting decisions, and the number of fixes reduction eliminated. *)
+val plan :
+  ?options:options ->
+  oracle:Hippo_alias.Oracle.t ->
+  Program.t ->
+  Report.bug list ->
+  Fix.plan * Heuristic.decision list * int
+
+(** The full pipeline. [workload] drives the program through the
+    interpreter; the same workload is replayed on the repaired program for
+    verification. *)
+val repair :
+  ?options:options ->
+  name:string ->
+  workload:(Interp.t -> unit) ->
+  ?config:Interp.config ->
+  Program.t ->
+  result
+
+val pp_summary : Format.formatter -> result -> unit

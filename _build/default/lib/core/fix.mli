@@ -1,0 +1,51 @@
+(** Fix representations (paper §4.2).
+
+    Phase 1 produces {e intraprocedural} fixes: a flush inserted
+    immediately after the buggy store (so its address operand is still
+    live — the insertion point guarantees [X -> F(X)]), and/or a fence
+    inserted immediately after the ordering flush. Phase 3 may convert a
+    flush fix into a {e hoist}: a persistent-subprogram transformation at
+    a call site on the buggy store's stack. *)
+
+open Hippo_pmir
+open Hippo_pmcheck
+
+type intra_action =
+  | Add_flush of { addr : Value.t; size : int; kind : Instr.flush_kind }
+      (** [size] is the buggy store's width — used when the fix is emitted
+          in the portable style as a ranged [pmem_flush] call (§6.2) *)
+  | Add_fence of { kind : Instr.fence_kind }
+
+type intra = {
+  after : Iid.t;  (** insertion point: immediately after this instruction *)
+  action : intra_action;
+}
+
+type hoist = {
+  call_site : Iid.t;  (** the call to transform *)
+  callee : string;  (** the subprogram root being made persistent *)
+  depth : int;  (** frames above the PM modification (1 = direct caller) *)
+}
+
+type t = Intra of intra | Hoist of hoist
+
+(** How a bug ends up fixed — the classification axis of Fig. 3. *)
+type shape =
+  | Shape_intra_flush
+  | Shape_intra_fence
+  | Shape_intra_flush_fence
+  | Shape_interprocedural of int  (** hoist depth *)
+
+val shape_to_string : shape -> string
+val intra_equal : intra -> intra -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** A fix plan: the final fix list plus, per bug, the shape of its fix —
+    consumed by the accuracy experiment (Fig. 3) and the fix-statistics
+    experiment (§6.3). *)
+type plan = { fixes : t list; per_bug : (Report.bug * shape) list }
+
+val count_intra : plan -> int
+val count_hoisted : plan -> int

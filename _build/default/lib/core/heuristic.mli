@@ -1,0 +1,46 @@
+(** Phase 3: the hoisting heuristic (paper §4.3).
+
+    For every bug that needs a flush, decides whether the intraprocedural
+    fix should become an interprocedural one — a persistent-subprogram
+    transformation at a call site on the buggy store's call stack — and at
+    which level.
+
+    Candidates, innermost first: the PM-modifying store itself, then the
+    call site of every frame strictly below the crash-point function's
+    frame. Scores are persistent-minus-volatile alias counts of the
+    candidate's PM-relevant pointer argument(s); a call site with none
+    scores -inf and cuts off all outer candidates. Highest score wins;
+    ties go to the innermost candidate, so hoisting happens only when it
+    strictly reduces expected volatile flushing. *)
+
+open Hippo_pmir
+open Hippo_pmcheck
+
+type call_target = { call_site : Iid.t; callee : string; depth : int }
+
+type candidate = At_store | At_call of call_target
+
+type decision = {
+  bug : Report.bug;
+  choice : candidate;
+  scores : (candidate * int) list;  (** considered candidates with scores *)
+}
+
+(** Call-site candidates from the bug's stacks, innermost first: each
+    frame contributes the call site that created it (located in its
+    caller); frames at or above the crash-point function are excluded. *)
+val call_candidates : Report.bug -> (Iid.t * string) list
+
+val decide : Hippo_alias.Oracle.t -> Program.t -> Report.bug -> decision
+
+(** Partition the reduced fixes: flush fixes whose every bug hoists become
+    {!Fix.Hoist} fixes; everything else stays intraprocedural. *)
+val phase3 :
+  Hippo_alias.Oracle.t ->
+  Program.t ->
+  Reduce.reduced list ->
+  Fix.plan * decision list
+
+(** Phase 3 disabled: every fix stays intraprocedural (the Redis_H-intra
+    configuration of §6.3). *)
+val phase3_disabled : Reduce.reduced list -> Fix.plan

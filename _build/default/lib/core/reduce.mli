@@ -1,0 +1,26 @@
+(** Phase 2: fix reduction (paper §4.3).
+
+    Merges redundant fixes: two flushes of the same address at the same
+    insertion point reduce to one, multiple fences at a point reduce to
+    one, and fixes duplicating a persistence operation already present
+    right after the insertion point are dropped. The reduced plan keeps
+    the provenance multimap [fix -> bugs it discharges]: Phase 3 needs it
+    to know when every bug behind a fix has been hoisted away. *)
+
+open Hippo_pmir
+open Hippo_pmcheck
+
+type reduced = {
+  fix : Fix.intra;
+  bugs : Report.bug list;  (** all bugs this single fix discharges *)
+}
+
+(** The program already performs this exact operation immediately after
+    the insertion point. *)
+val already_present : Program.t -> Fix.intra -> bool
+
+val phase2 : Program.t -> (Report.bug * Fix.intra list) list -> reduced list
+
+(** Number of raw fixes eliminated by reduction (ablation metric). *)
+val eliminated :
+  raw:(Report.bug * Fix.intra list) list -> reduced:reduced list -> int

@@ -1,0 +1,39 @@
+(** The persistent-subprogram transformation (paper §4.2.4, Theorem 4).
+
+    {!hoist} duplicates the callee of a chosen call site as a persistent
+    subprogram: in the clone, every store that may modify PM is followed
+    by a flush of its own address, and every call to a (transitively)
+    PM-modifying function is retargeted to that function's persistent
+    clone. A single fence is inserted after the transformed call site, so
+    every PM modification inside the subprogram satisfies
+    [X -> F(X) -> M -> I].
+
+    Clones are cached and shared across transformations (the paper's
+    [update_PM] reuse), which keeps the code-size impact negligible —
+    experiment E8 measures exactly this. *)
+
+open Hippo_pmir
+
+type ctx = {
+  mutable prog : Program.t;
+  oracle : Hippo_alias.Oracle.t;
+  base : Program.t;  (** the pre-transformation program the oracle knows *)
+  mutable clones : (string * string) list;  (** original -> clone name *)
+  mutable instrs_added : int;
+  mutable funcs_added : int;
+  reuse : bool;  (** share clones across hoists (ablation A1 disables) *)
+}
+
+val create : ?reuse:bool -> oracle:Hippo_alias.Oracle.t -> Program.t -> ctx
+
+(** Does [fname] (transitively) contain a store that may modify PM? *)
+val may_modify_pm : ctx -> string -> bool
+
+(** Build (or reuse) the persistent clone of a function; returns the
+    clone's name. Terminates on recursive subprograms. *)
+val ensure_clone : ctx -> string -> string
+
+(** Apply one hoist fix: retarget the call site to the persistent clone
+    and fence immediately after it. Raises [Invalid_argument] if the call
+    site does not exist. *)
+val hoist : ctx -> Fix.hoist -> unit

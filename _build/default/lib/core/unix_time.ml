@@ -1,0 +1,4 @@
+(** Wall-clock seconds without a Unix dependency: monotonic-enough timing
+    for the offline-overhead experiment (Fig. 5). *)
+
+let now () = Sys.time ()

@@ -1,0 +1,32 @@
+(** Post-repair validation (§6.1's methodology).
+
+    Two executable counterparts of the paper's guarantees:
+
+    - {e effectiveness}: re-running the bug finder on the repaired program
+      under the same workload reports zero durability bugs;
+    - {e do no harm}: on the bug-free execution the repaired program is
+      observationally identical to the original — same emitted outputs,
+      same final working PM contents. *)
+
+open Hippo_pmir
+open Hippo_pmcheck
+
+type outcome = {
+  residual_bugs : Report.bug list;
+  outputs_match : bool;
+  pm_working_match : bool;
+  crash_consistent_improved : bool option;
+      (** set by callers that also run crash simulation *)
+}
+
+val harm_free : outcome -> bool
+val effective : outcome -> bool
+
+val check :
+  workload:(Interp.t -> unit) ->
+  config:Interp.config ->
+  original:Program.t ->
+  repaired:Program.t ->
+  outcome
+
+val pp : Format.formatter -> outcome -> unit

@@ -1,0 +1,1 @@
+lib/perfmodel/stats.ml: Array Fmt List

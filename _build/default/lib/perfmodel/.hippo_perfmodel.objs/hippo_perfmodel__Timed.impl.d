@@ -1,0 +1,1 @@
+lib/perfmodel/timed.ml: Cost Hippo_pmcheck Interp List Stats

@@ -1,0 +1,1 @@
+lib/perfmodel/timed.mli: Cost Hippo_pmcheck Hippo_pmir Interp Stats

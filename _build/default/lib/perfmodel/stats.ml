@@ -1,0 +1,40 @@
+(** Mean and 95% confidence intervals over benchmark trials, as plotted in
+    Fig. 4's error bars. *)
+
+type summary = { n : int; mean : float; stddev : float; ci95 : float }
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty sample"
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  let m = mean xs in
+  let n = List.length xs in
+  if n < 2 then 0.0
+  else
+    sqrt
+      (List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs
+      /. float_of_int (n - 1))
+
+(* Two-sided t critical values at 95% for small samples; 1.96 beyond. *)
+let t_crit n =
+  let table =
+    [| 12.71; 4.30; 3.18; 2.78; 2.57; 2.45; 2.36; 2.31; 2.26; 2.23;
+       2.20; 2.18; 2.16; 2.14; 2.13; 2.12; 2.11; 2.10; 2.09; 2.09 |]
+  in
+  let df = n - 1 in
+  if df <= 0 then 0.0 else if df <= 20 then table.(df - 1) else 1.96
+
+let summarize xs =
+  let n = List.length xs in
+  let m = mean xs in
+  let s = stddev xs in
+  { n; mean = m; stddev = s; ci95 = t_crit n *. s /. sqrt (float_of_int n) }
+
+let pp_summary ppf s = Fmt.pf ppf "%.0f ±%.0f" s.mean s.ci95
+
+(** Do two confidence intervals overlap? (the paper's "equal performance
+    within the 95% confidence intervals") *)
+let overlap a b =
+  a.mean -. a.ci95 <= b.mean +. b.ci95 && b.mean -. b.ci95 <= a.mean +. a.ci95

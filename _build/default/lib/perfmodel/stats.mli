@@ -1,0 +1,19 @@
+(** Mean and 95% confidence intervals over benchmark trials, as plotted in
+    Fig. 4's error bars. Small samples use Student-t critical values. *)
+
+type summary = { n : int; mean : float; stddev : float; ci95 : float }
+
+(** Raises [Invalid_argument] on an empty sample. *)
+val mean : float list -> float
+
+(** Sample standard deviation (Bessel-corrected); 0 for n < 2. *)
+val stddev : float list -> float
+
+val summarize : float list -> summary
+
+(** Renders as ["mean ±ci"]. *)
+val pp_summary : Format.formatter -> summary -> unit
+
+(** Do two 95% confidence intervals overlap? (the paper's "equal
+    performance within the 95% confidence intervals") *)
+val overlap : summary -> summary -> bool

@@ -1,0 +1,36 @@
+(** Timed execution: run a host driver against a program under the latency
+    cost model and report simulated throughput. *)
+
+open Hippo_pmcheck
+
+type run = {
+  ops : int;
+  sim_ns : float;  (** simulated nanoseconds accumulated by the cost model *)
+  steps : int;  (** interpreted instructions *)
+}
+
+let throughput_kops r =
+  if r.sim_ns <= 0.0 then 0.0 else float_of_int r.ops /. r.sim_ns *. 1e6
+
+(** [measure ?cost prog ~setup ~drive ~ops] creates an untraced interpreter
+    with the cost model, runs [setup] (not timed — it may build driver
+    state such as scratch buffers and return it), then [drive] (timed);
+    [ops] is the operation count [drive] performs. *)
+let measure ?(cost = Cost.default) ?(config = Interp.default_config) prog
+    ~(setup : Interp.t -> 'a) ~(drive : Interp.t -> 'a -> unit) ~ops : run =
+  let cfg = { config with Interp.trace = false; cost = Some cost } in
+  let t = Interp.create cfg prog in
+  let state = setup t in
+  let before = Interp.cost_ns t in
+  let steps_before = Interp.steps t in
+  drive t state;
+  {
+    ops;
+    sim_ns = Interp.cost_ns t -. before;
+    steps = Interp.steps t - steps_before;
+  }
+
+(** [trials n f] runs [f seed] for seeds 1..n and summarizes the
+    throughputs. *)
+let trials n (f : int -> run) : Stats.summary =
+  Stats.summarize (List.init n (fun k -> throughput_kops (f (k + 1))))

@@ -1,0 +1,30 @@
+(** Timed execution: run a host driver against a program under the latency
+    cost model and report simulated throughput. *)
+
+open Hippo_pmcheck
+
+type run = {
+  ops : int;
+  sim_ns : float;  (** simulated nanoseconds accumulated by the model *)
+  steps : int;  (** interpreted instructions *)
+}
+
+(** Thousands of operations per simulated second. *)
+val throughput_kops : run -> float
+
+(** [measure prog ~setup ~drive ~ops] creates an untraced interpreter with
+    the cost model, runs [setup] (not timed — it may build driver state
+    such as scratch buffers and return it), then [drive] (timed); [ops] is
+    the operation count [drive] performs. *)
+val measure :
+  ?cost:Cost.t ->
+  ?config:Interp.config ->
+  Hippo_pmir.Program.t ->
+  setup:(Interp.t -> 'a) ->
+  drive:(Interp.t -> 'a -> unit) ->
+  ops:int ->
+  run
+
+(** [trials n f] runs [f seed] for seeds 1..n and summarizes the
+    throughputs. *)
+val trials : int -> (int -> run) -> Stats.summary

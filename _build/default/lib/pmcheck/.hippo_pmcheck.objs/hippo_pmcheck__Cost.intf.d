@@ -1,0 +1,1 @@
+lib/pmcheck/cost.mli:

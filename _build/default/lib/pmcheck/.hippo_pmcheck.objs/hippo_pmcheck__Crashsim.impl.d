@@ -1,0 +1,1 @@
+lib/pmcheck/crashsim.ml: Fmt Interp List Mem Trace

@@ -1,0 +1,1 @@
+lib/pmcheck/crashsim.mli: Hippo_pmir Interp

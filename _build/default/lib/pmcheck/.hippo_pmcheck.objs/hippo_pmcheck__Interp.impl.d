@@ -1,0 +1,1 @@
+lib/pmcheck/interp.ml: Array Cost Fun Func Hashtbl Hippo_pmir Iid Instr Layout List Loc Mem Option Program Pstate Report Sitestats Trace Value

@@ -1,0 +1,1 @@
+lib/pmcheck/interp.mli: Bytes Cost Hippo_pmir Mem Program Pstate Report Sitestats Trace

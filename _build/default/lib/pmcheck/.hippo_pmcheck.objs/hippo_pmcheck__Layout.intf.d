@@ -1,0 +1,1 @@
+lib/pmcheck/layout.mli:

@@ -1,0 +1,1 @@
+lib/pmcheck/mem.ml: Bytes Char Fmt Int32 Int64 Layout List String

@@ -1,0 +1,1 @@
+lib/pmcheck/mem.mli: Bytes Format

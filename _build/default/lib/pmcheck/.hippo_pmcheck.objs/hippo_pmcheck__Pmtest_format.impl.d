@@ -1,0 +1,1 @@
+lib/pmcheck/pmtest_format.ml: Fmt Hippo_pmir Iid Instr List Loc Report String Trace

@@ -1,0 +1,1 @@
+lib/pmcheck/pmtest_format.mli: Report Trace

@@ -1,0 +1,1 @@
+lib/pmcheck/pstate.ml: Bytes Hashtbl Hippo_pmir Iid Instr Int Layout List Loc Mem Report String Trace

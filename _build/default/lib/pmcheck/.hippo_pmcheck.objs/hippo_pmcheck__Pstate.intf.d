@@ -1,0 +1,1 @@
+lib/pmcheck/pstate.mli: Hashtbl Hippo_pmir Iid Instr Loc Mem Report Trace

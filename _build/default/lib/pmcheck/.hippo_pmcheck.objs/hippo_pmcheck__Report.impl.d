@@ -1,0 +1,1 @@
+lib/pmcheck/report.ml: Fmt Hippo_pmir Iid List Loc Option String Trace

@@ -1,0 +1,1 @@
+lib/pmcheck/report.mli: Format Hippo_pmir Iid Loc Trace

@@ -1,0 +1,1 @@
+lib/pmcheck/sitestats.ml: Fmt Hashtbl Hippo_pmir Iid List String Trace

@@ -1,0 +1,1 @@
+lib/pmcheck/sitestats.mli: Hippo_pmir Iid Trace

@@ -1,0 +1,1 @@
+lib/pmcheck/trace.ml: Fmt Hippo_pmir Iid Instr List Loc String

@@ -1,0 +1,1 @@
+lib/pmcheck/trace.mli: Format Hippo_pmir Iid Instr Loc

@@ -1,0 +1,62 @@
+(** Crash simulation: demonstrates that reported durability bugs are real
+    (some crash leaves the application unrecoverable) and that repaired
+    programs are crash consistent.
+
+    A scenario runs a workload, stops it at its [n]-th crash point, takes
+    the durable PM image, restarts the program on that image and runs a
+    recovery checker function (returning nonzero when the recovered state
+    satisfies the application's invariant).
+
+    Two images are checked per crash point: the pessimistic image (only
+    explicitly persisted data survived) and the lucky image (every cached
+    line happened to be evicted before the crash — the case that makes
+    durability bugs so hard to observe in testing). A bug is
+    {e demonstrated} when the lucky image recovers but the pessimistic one
+    does not. *)
+
+type verdict = {
+  crash_index : int;
+  pessimistic_ok : bool;  (** recovery succeeded on the durable image *)
+  lucky_ok : bool;  (** recovery succeeded on the working image *)
+}
+
+val consistent : verdict -> bool
+
+(** [check_crash prog ~setup ~checker ~checker_args ~crash_index] runs the
+    host-call list [setup], stopping at the given crash point, then
+    recovers both images with [checker]. Raises [Invalid_argument] when
+    the workload has fewer crash points. *)
+val check_crash :
+  ?config:Interp.config ->
+  Hippo_pmir.Program.t ->
+  setup:(string * int list) list ->
+  checker:string ->
+  checker_args:int list ->
+  crash_index:int ->
+  verdict
+
+(** Count the crash points a workload passes through. *)
+val count_crash_points :
+  ?config:Interp.config ->
+  Hippo_pmir.Program.t ->
+  setup:(string * int list) list ->
+  int
+
+(** Check every crash point of the workload, in order. *)
+val sweep :
+  ?config:Interp.config ->
+  Hippo_pmir.Program.t ->
+  setup:(string * int list) list ->
+  checker:string ->
+  checker_args:int list ->
+  verdict list
+
+(** A program is crash consistent for a workload when recovery succeeds on
+    the pessimistic image of every crash point. *)
+val crash_consistent :
+  ?config:Interp.config ->
+  Hippo_pmir.Program.t ->
+  setup:(string * int list) list ->
+  checker:string ->
+  checker_args:int list ->
+  bool

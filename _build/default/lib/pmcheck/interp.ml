@@ -1,0 +1,482 @@
+(** The PMIR interpreter and durability-bug finder.
+
+    Plays the role pmemcheck plays for the original system: it executes the
+    program under test, records a PM-operation trace (stores, flushes,
+    fences, calls — each with its call stack), and reports every store that
+    is not durable when a crash point or program exit is reached.
+
+    Programs are first {e prepared}: register names become array slots,
+    block labels become code indices, callees become function indices — a
+    one-time cost that makes the YCSB benchmark workloads (millions of
+    interpreted instructions) tractable. *)
+
+open Hippo_pmir
+
+exception Aborted
+exception Out_of_fuel
+exception Stopped_at_crash
+
+type pval = PReg of int | PImm of int
+
+type intrinsic =
+  | Ipm_alloc
+  | Ipm_base
+  | Ipm_size
+  | Imalloc
+  | Ifree
+  | Iemit
+  | Iabort
+
+type callee = Cfunc of int | Cintrinsic of intrinsic
+
+type pop =
+  | PStore of { addr : pval; value : pval; size : int; nt : bool }
+  | PLoad of { dst : int; addr : pval; size : int }
+  | PFlush of { kind : Instr.flush_kind; addr : pval }
+  | PFence of { kind : Instr.fence_kind }
+  | PBinop of { dst : int; op : Instr.binop; lhs : pval; rhs : pval }
+  | PMov of { dst : int; src : pval }
+  | PGep of { dst : int; base : pval; offset : pval }
+  | PAlloca of { dst : int; size : int }
+  | PCall of { dst : int; callee : callee; args : pval array }
+      (** [dst = -1] when the result is discarded *)
+  | PJmp of int
+  | PCondbr of { cond : pval; if_true : int; if_false : int }
+  | PRet of pval option
+  | PCrash
+
+type pinstr = { iid : Iid.t; loc : Loc.t; op : pop }
+
+type pfunc = { fname : string; nregs : int; pslots : int array; code : pinstr array }
+
+type config = {
+  trace : bool;  (** record the PM operation trace *)
+  fuel : int;  (** maximum interpreted instructions *)
+  cost : Cost.t option;  (** account simulated latency *)
+  stop_at_crash : int option;  (** halt at the n-th crash point (1-based) *)
+  vol_size : int;
+  stack_size : int;
+  global_size : int;
+  pm_size : int;
+}
+
+let default_config =
+  {
+    trace = true;
+    fuel = 200_000_000;
+    cost = None;
+    stop_at_crash = None;
+    vol_size = 1 lsl 24;
+    stack_size = 1 lsl 22;
+    global_size = 1 lsl 20;
+    pm_size = 1 lsl 24;
+  }
+
+(* Preparation ------------------------------------------------------------ *)
+
+let intrinsic_of_name = function
+  | "pm_alloc" -> Some Ipm_alloc
+  | "pm_base" -> Some Ipm_base
+  | "pm_size" -> Some Ipm_size
+  | "malloc" -> Some Imalloc
+  | "free" -> Some Ifree
+  | "emit" -> Some Iemit
+  | "abort" -> Some Iabort
+  | _ -> None
+
+let prepare_func ~fidx ~global_addr (f : Func.t) : pfunc =
+  let slots = Hashtbl.create 32 in
+  let next = ref 0 in
+  let slot r =
+    match Hashtbl.find_opt slots r with
+    | Some i -> i
+    | None ->
+        let i = !next in
+        incr next;
+        Hashtbl.add slots r i;
+        i
+  in
+  let pslots = Array.of_list (List.map slot (Func.params f)) in
+  let blocks = Func.blocks f in
+  (* Block label -> code index of its first instruction. *)
+  let starts = Hashtbl.create 16 in
+  let _ =
+    List.fold_left
+      (fun idx (b : Func.block) ->
+        Hashtbl.add starts b.label idx;
+        idx + List.length b.instrs)
+      0 blocks
+  in
+  let target l =
+    match Hashtbl.find_opt starts l with
+    | Some i -> i
+    | None -> Mem.trap "undefined label %S in @%s" l (Func.name f)
+  in
+  let pv : Value.t -> pval = function
+    | Value.Reg r -> PReg (slot r)
+    | Value.Imm n -> PImm n
+    | Value.Global g -> PImm (global_addr g)
+    | Value.Null -> PImm 0
+  in
+  let pop (i : Instr.t) : pop =
+    match Instr.op i with
+    | Instr.Store { addr; value; size; nontemporal } ->
+        PStore { addr = pv addr; value = pv value; size; nt = nontemporal }
+    | Instr.Load { dst; addr; size } -> PLoad { dst = slot dst; addr = pv addr; size }
+    | Instr.Flush { kind; addr } -> PFlush { kind; addr = pv addr }
+    | Instr.Fence { kind } -> PFence { kind }
+    | Instr.Binop { dst; op; lhs; rhs } ->
+        PBinop { dst = slot dst; op; lhs = pv lhs; rhs = pv rhs }
+    | Instr.Mov { dst; src } -> PMov { dst = slot dst; src = pv src }
+    | Instr.Gep { dst; base; offset } ->
+        PGep { dst = slot dst; base = pv base; offset = pv offset }
+    | Instr.Alloca { dst; size } -> PAlloca { dst = slot dst; size }
+    | Instr.Call { dst; callee; args } ->
+        let callee =
+          match Hashtbl.find_opt fidx callee with
+          | Some i -> Cfunc i
+          | None -> (
+              match intrinsic_of_name callee with
+              | Some it -> Cintrinsic it
+              | None -> Mem.trap "call to undefined function @%s" callee)
+        in
+        PCall
+          {
+            dst = (match dst with Some d -> slot d | None -> -1);
+            callee;
+            args = Array.of_list (List.map pv args);
+          }
+    | Instr.Br { target = l } -> PJmp (target l)
+    | Instr.Condbr { cond; if_true; if_false } ->
+        PCondbr { cond = pv cond; if_true = target if_true; if_false = target if_false }
+    | Instr.Ret v -> PRet (Option.map pv v)
+    | Instr.Crash -> PCrash
+  in
+  let code =
+    List.concat_map (fun (b : Func.block) -> b.instrs) blocks
+    |> List.map (fun i -> { iid = Instr.iid i; loc = Instr.loc i; op = pop i })
+    |> Array.of_list
+  in
+  { fname = Func.name f; nregs = !next; pslots; code }
+
+(* Interpreter state ------------------------------------------------------ *)
+
+type t = {
+  prog : Program.t;
+  pfuncs : pfunc array;
+  fidx : (string, int) Hashtbl.t;
+  mem : Mem.t;
+  ps : Pstate.t;
+  cfg : config;
+  mutable seq : int;
+  mutable steps : int;
+  mutable trace_rev : Trace.event list;
+  mutable bugs_rev : Report.bug list;
+  mutable output_rev : int list;
+  mutable cost_ns : float;
+  mutable crashes_hit : int;
+  mutable frames : Trace.stack;  (** current call stack, innermost first *)
+  stats : Sitestats.t;  (** per-site pointer-class observations *)
+}
+
+let create ?pm_image (cfg : config) (prog : Program.t) : t =
+  let funcs = Program.funcs prog in
+  let fidx = Hashtbl.create 64 in
+  List.iteri (fun i f -> Hashtbl.add fidx (Func.name f) i) funcs;
+  let mem =
+    Mem.create ~vol_size:cfg.vol_size ~stack_size:cfg.stack_size
+      ~global_size:cfg.global_size ~pm_size:cfg.pm_size ?pm_image
+      (Program.globals prog)
+  in
+  let global_addr = Mem.global_addr mem in
+  let pfuncs =
+    Array.of_list (List.map (prepare_func ~fidx ~global_addr) funcs)
+  in
+  {
+    prog;
+    pfuncs;
+    fidx;
+    mem;
+    ps = Pstate.create ();
+    cfg;
+    seq = 0;
+    steps = 0;
+    trace_rev = [];
+    bugs_rev = [];
+    output_rev = [];
+    cost_ns = 0.0;
+    crashes_hit = 0;
+    frames = [];
+    stats = Sitestats.create ();
+  }
+
+let mem t = t.mem
+
+let next_seq t =
+  let s = t.seq in
+  t.seq <- s + 1;
+  s
+
+let push_event t ev = if t.cfg.trace then t.trace_rev <- ev :: t.trace_rev
+
+let classify_arg v : Trace.arg_class =
+  if Layout.is_pm v then Trace.Pm_ptr
+  else if Layout.is_volatile_ptr v then Trace.Vol_ptr
+  else Trace.Not_ptr
+
+let record_crash_point t ~iid ~loc =
+  t.crashes_hit <- t.crashes_hit + 1;
+  let crash : Report.crash_info =
+    { crash_iid = iid; crash_loc = loc; crash_stack = t.frames }
+  in
+  push_event t
+    (Trace.Crash_point { iid; loc; stack = t.frames; seq = next_seq t });
+  let bugs = Pstate.unpersisted_bugs t.ps ~crash in
+  t.bugs_rev <- List.rev_append bugs t.bugs_rev;
+  match t.cfg.stop_at_crash with
+  | Some n when t.crashes_hit >= n -> raise Stopped_at_crash
+  | _ -> ()
+
+(* Execution -------------------------------------------------------------- *)
+
+let rec exec_call t (pf : pfunc) (args : int array) : int =
+  if Array.length args <> Array.length pf.pslots then
+    Mem.trap "@%s called with %d arguments (expects %d)" pf.fname
+      (Array.length args) (Array.length pf.pslots);
+  let regs = Array.make pf.nregs 0 in
+  Array.iteri (fun i slot -> regs.(slot) <- args.(i)) pf.pslots;
+  let stack_mark = Mem.stack_mark t.mem in
+  let cost = t.cfg.cost in
+  let ev (v : pval) = match v with PReg i -> regs.(i) | PImm n -> n in
+  let charge ns = t.cost_ns <- t.cost_ns +. ns in
+  let code = pf.code in
+  let ncode = Array.length code in
+  let pc = ref 0 in
+  let result = ref 0 in
+  let running = ref true in
+  while !running do
+    if !pc >= ncode then
+      Mem.trap "fell off the end of @%s (missing ret)" pf.fname;
+    t.steps <- t.steps + 1;
+    if t.steps > t.cfg.fuel then raise Out_of_fuel;
+    let i = Array.unsafe_get code !pc in
+    incr pc;
+    match i.op with
+    | PBinop { dst; op; lhs; rhs } ->
+        let a = ev lhs and b = ev rhs in
+        let r =
+          match op with
+          | Instr.Add -> a + b
+          | Instr.Sub -> a - b
+          | Instr.Mul -> a * b
+          | Instr.Div -> if b = 0 then Mem.trap "division by zero" else a / b
+          | Instr.Rem -> if b = 0 then Mem.trap "remainder by zero" else a mod b
+          | Instr.And -> a land b
+          | Instr.Or -> a lor b
+          | Instr.Xor -> a lxor b
+          | Instr.Shl -> a lsl (b land 62)
+          | Instr.Lshr -> a lsr (b land 62)
+          | Instr.Eq -> if a = b then 1 else 0
+          | Instr.Ne -> if a <> b then 1 else 0
+          | Instr.Lt -> if a < b then 1 else 0
+          | Instr.Le -> if a <= b then 1 else 0
+          | Instr.Gt -> if a > b then 1 else 0
+          | Instr.Ge -> if a >= b then 1 else 0
+        in
+        regs.(dst) <- r;
+        (match cost with Some c -> charge c.op_ns | None -> ())
+    | PMov { dst; src } ->
+        regs.(dst) <- ev src;
+        (match cost with Some c -> charge c.op_ns | None -> ())
+    | PGep { dst; base; offset } ->
+        regs.(dst) <- ev base + ev offset;
+        (match cost with Some c -> charge c.op_ns | None -> ())
+    | PLoad { dst; addr; size } ->
+        let a = ev addr in
+        regs.(dst) <- Mem.load t.mem ~addr:a ~size;
+        (match cost with
+        | Some c -> charge (if Layout.is_pm a then c.load_pm_ns else c.load_dram_ns)
+        | None -> ())
+    | PStore { addr; value; size; nt } ->
+        let a = ev addr and v = ev value in
+        Mem.store t.mem ~addr:a ~size v;
+        if t.cfg.trace then
+          Sitestats.observe t.stats ~site:i.iid ~arg:(-1) (classify_arg a);
+        if Layout.is_pm a then begin
+          let seq = next_seq t in
+          (if nt then
+             Pstate.store_nt t.ps t.mem ~iid:i.iid ~loc:i.loc ~stack:t.frames
+               ~addr:a ~size ~seq
+           else
+             ignore
+               (Pstate.store t.ps ~iid:i.iid ~loc:i.loc ~stack:t.frames ~addr:a
+                  ~size ~seq));
+          push_event t
+            (Trace.Store
+               {
+                 iid = i.iid;
+                 loc = i.loc;
+                 stack = t.frames;
+                 addr = a;
+                 size;
+                 nontemporal = nt;
+                 seq;
+               })
+        end;
+        (match cost with
+        | Some c -> charge (if Layout.is_pm a then c.store_pm_ns else c.store_dram_ns)
+        | None -> ())
+    | PFlush { kind; addr } ->
+        let a = ev addr in
+        let moved = Pstate.flush t.ps t.mem ~iid:i.iid ~kind ~addr:a in
+        if Layout.is_pm a then begin
+          let seq = next_seq t in
+          push_event t
+            (Trace.Flush
+               {
+                 iid = i.iid;
+                 loc = i.loc;
+                 stack = t.frames;
+                 kind;
+                 line_addr = Layout.line_base a;
+                 seq;
+               })
+        end;
+        (match cost with
+        | Some c ->
+            charge
+              (if Layout.is_pm a then
+                 if moved > 0 then c.flush_pm_dirty_ns else c.flush_pm_clean_ns
+               else c.flush_vol_ns)
+        | None -> ())
+    | PFence { kind } ->
+        let seq = next_seq t in
+        let drained = Pstate.fence t.ps t.mem ~seq in
+        push_event t
+          (Trace.Fence { iid = i.iid; loc = i.loc; stack = t.frames; kind; seq });
+        (match cost with
+        | Some c ->
+            charge
+              (c.fence_base_ns
+              +. (float_of_int drained *. c.fence_drain_line_ns))
+        | None -> ())
+    | PAlloca { dst; size } ->
+        regs.(dst) <- Mem.alloc_stack t.mem size;
+        (match cost with Some c -> charge c.op_ns | None -> ())
+    | PCall { dst; callee; args } -> (
+        match callee with
+        | Cintrinsic it ->
+            let arg k = ev args.(k) in
+            let r =
+              match it with
+              | Ipm_alloc -> Mem.alloc_pm t.mem (arg 0)
+              | Ipm_base -> Layout.pm_base
+              | Ipm_size -> t.cfg.pm_size
+              | Imalloc -> Mem.alloc_vol t.mem (arg 0)
+              | Ifree -> 0
+              | Iemit ->
+                  t.output_rev <- arg 0 :: t.output_rev;
+                  0
+              | Iabort -> raise Aborted
+            in
+            if dst >= 0 then regs.(dst) <- r;
+            (match cost with Some c -> charge c.call_ns | None -> ())
+        | Cfunc fi ->
+            let callee_pf = t.pfuncs.(fi) in
+            let argv = Array.map ev args in
+            if t.cfg.trace then
+              Array.iteri
+                (fun k v ->
+                  Sitestats.observe t.stats ~site:i.iid ~arg:k (classify_arg v))
+                argv;
+            (if t.cfg.trace then
+               let seq = next_seq t in
+               push_event t
+                 (Trace.Call
+                    {
+                      iid = i.iid;
+                      loc = i.loc;
+                      stack = t.frames;
+                      callee = callee_pf.fname;
+                      arg_classes =
+                        Array.to_list (Array.map classify_arg argv);
+                      seq;
+                    }));
+            t.frames <-
+              {
+                Trace.func = callee_pf.fname;
+                callsite = Some i.iid;
+                callsite_loc = Some i.loc;
+              }
+              :: t.frames;
+            (match cost with Some c -> charge c.call_ns | None -> ());
+            let r = exec_call t callee_pf argv in
+            t.frames <- List.tl t.frames;
+            if dst >= 0 then regs.(dst) <- r)
+    | PJmp target ->
+        pc := target;
+        (match cost with Some c -> charge c.op_ns | None -> ())
+    | PCondbr { cond; if_true; if_false } ->
+        pc := (if ev cond <> 0 then if_true else if_false);
+        (match cost with Some c -> charge c.op_ns | None -> ())
+    | PRet v ->
+        result := (match v with Some v -> ev v | None -> 0);
+        running := false
+    | PCrash -> record_crash_point t ~iid:(Some i.iid) ~loc:i.loc
+  done;
+  Mem.stack_release t.mem stack_mark;
+  !result
+
+(** [call t name args] invokes a function from the host (as the test driver
+    invokes the program under valgrind). The persistency state, the trace
+    and detected bugs accumulate across calls. *)
+let call t name args =
+  match Hashtbl.find_opt t.fidx name with
+  | None -> Mem.trap "call to undefined function @%s" name
+  | Some fi ->
+      t.frames <- [ { Trace.func = name; callsite = None; callsite_loc = None } ];
+      Fun.protect
+        ~finally:(fun () -> t.frames <- [])
+        (fun () -> exec_call t t.pfuncs.(fi) (Array.of_list args))
+
+(* Results ---------------------------------------------------------------- *)
+
+(** [exit_check t] performs the implicit crash point at program exit:
+    pmemcheck's "number of stores not made persistent" summary. *)
+let exit_check t =
+  let crash : Report.crash_info =
+    {
+      crash_iid = None;
+      crash_loc = Loc.make ~file:"<exit>" ~line:0;
+      crash_stack = [];
+    }
+  in
+  let bugs = Pstate.unpersisted_bugs t.ps ~crash in
+  t.bugs_rev <- List.rev_append bugs t.bugs_rev;
+  push_event t
+    (Trace.Crash_point
+       { iid = None; loc = crash.crash_loc; stack = []; seq = next_seq t })
+
+let trace t = List.rev t.trace_rev
+let site_stats t = t.stats
+let bugs t = Report.dedup (List.rev t.bugs_rev)
+let raw_bugs t = List.rev t.bugs_rev
+let output t = List.rev t.output_rev
+let cost_ns t = t.cost_ns
+let steps t = t.steps
+let pstate t = t.ps
+let crash_image t = Mem.crash_image t.mem
+let global_addr t name = Mem.global_addr t.mem name
+
+(** One-shot convenience: run [entry] with [args], then apply the exit
+    check. Returns the interpreter for inspection. *)
+let run ?pm_image ?(config = default_config) prog ~entry ~args =
+  let t = create ?pm_image config prog in
+  let ret =
+    try Ok (call t entry args) with
+    | Stopped_at_crash -> Error `Stopped_at_crash
+    | Aborted -> Error `Aborted
+    | Out_of_fuel -> Error `Out_of_fuel
+  in
+  (match ret with Ok _ -> exit_check t | Error _ -> ());
+  (t, ret)

@@ -1,0 +1,91 @@
+(** The PMIR interpreter and durability-bug finder.
+
+    Plays the role pmemcheck plays for the original system: it executes
+    the program under test, records a PM-operation trace (stores, flushes,
+    fences, calls — each with its call stack), and reports every store
+    that is not durable when a crash point or program exit is reached.
+
+    Programs are prepared once (register names become array slots, labels
+    become code indices, callees become function indices), which makes the
+    YCSB benchmark workloads tractable.
+
+    A typical bug-finding session:
+    {[
+      let t = Interp.create Interp.default_config prog in
+      ignore (Interp.call t "main" []);
+      Interp.exit_check t;
+      let bugs = Interp.bugs t in
+      ...
+    ]} *)
+
+open Hippo_pmir
+
+exception Aborted  (** the program called the [abort] intrinsic *)
+
+exception Out_of_fuel
+
+exception Stopped_at_crash
+(** raised when [stop_at_crash] is reached; the durable image is then the
+    crash state under study *)
+
+type config = {
+  trace : bool;  (** record the PM operation trace and site statistics *)
+  fuel : int;  (** maximum interpreted instructions *)
+  cost : Cost.t option;  (** account simulated latency *)
+  stop_at_crash : int option;  (** halt at the n-th crash point (1-based) *)
+  vol_size : int;
+  stack_size : int;
+  global_size : int;
+  pm_size : int;
+}
+
+val default_config : config
+
+type t
+
+(** [create ?pm_image cfg prog] prepares the program and builds a fresh
+    machine; [pm_image] seeds persistent memory (a restart). *)
+val create : ?pm_image:Bytes.t -> config -> Program.t -> t
+
+val mem : t -> Mem.t
+
+(** [call t name args] invokes a function from the host (as a test driver
+    invokes the program under valgrind). Persistency state, trace and
+    detected bugs accumulate across calls. Raises {!Mem.Trap},
+    {!Aborted}, {!Out_of_fuel} or {!Stopped_at_crash}. *)
+val call : t -> string -> int list -> int
+
+(** [exit_check t] performs the implicit crash point at program exit:
+    pmemcheck's "stores not made persistent" summary. *)
+val exit_check : t -> unit
+
+val trace : t -> Trace.event list
+val site_stats : t -> Sitestats.t
+
+(** Deduplicated bug reports (see {!Report.same_static_bug}). *)
+val bugs : t -> Report.bug list
+
+(** Every dynamic report, undeduplicated (the on-disk trace form). *)
+val raw_bugs : t -> Report.bug list
+
+(** Values passed to the [emit] intrinsic, in order — the program's
+    observable output, compared by the do-no-harm verifier. *)
+val output : t -> int list
+
+val cost_ns : t -> float
+val steps : t -> int
+val pstate : t -> Pstate.t
+
+(** The durable PM image (what a crash would preserve right now). *)
+val crash_image : t -> Bytes.t
+
+val global_addr : t -> string -> int
+
+(** One-shot convenience: run [entry] with [args], then the exit check. *)
+val run :
+  ?pm_image:Bytes.t ->
+  ?config:config ->
+  Program.t ->
+  entry:string ->
+  args:int list ->
+  t * (int, [ `Stopped_at_crash | `Aborted | `Out_of_fuel ]) result

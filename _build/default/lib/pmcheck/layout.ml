@@ -1,0 +1,37 @@
+(** The simulated address space.
+
+    Four disjoint regions, distinguishable by the top nibble of an address,
+    so classifying a pointer as persistent or volatile is a shift — the
+    same cheap test pmemcheck performs against the mmap'd pool range. *)
+
+let cache_line = 64
+
+let vol_base = 0x1000_0000
+let stack_base = 0x2000_0000
+let global_base = 0x3000_0000
+let pm_base = 0x4000_0000
+
+type region = Null_page | Vol_heap | Stack | Globals | Pm | Wild
+
+let region_of_addr addr =
+  if addr >= 0 && addr < 0x1000 then Null_page
+  else
+    match addr lsr 28 with
+    | 1 -> Vol_heap
+    | 2 -> Stack
+    | 3 -> Globals
+    | 4 -> Pm
+    | _ -> Wild
+
+let is_pm addr = addr lsr 28 = 4
+
+(** A volatile pointer: a valid address outside persistent memory. Used to
+    classify call arguments for the Trace-AA heuristic — integers that are
+    not addresses at all fall in neither class. *)
+let is_volatile_ptr addr =
+  match region_of_addr addr with
+  | Vol_heap | Stack | Globals -> true
+  | Null_page | Pm | Wild -> false
+
+let line_of_addr addr = addr / cache_line
+let line_base addr = addr land lnot (cache_line - 1)

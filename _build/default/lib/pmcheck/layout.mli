@@ -1,0 +1,29 @@
+(** The simulated address space.
+
+    Four disjoint regions, distinguishable by the top nibble of an
+    address, so classifying a pointer as persistent or volatile is a
+    shift — the same cheap test pmemcheck performs against the mmap'd pool
+    range. *)
+
+val cache_line : int
+(** 64 bytes: the flush granule. *)
+
+val vol_base : int
+val stack_base : int
+val global_base : int
+val pm_base : int
+
+type region = Null_page | Vol_heap | Stack | Globals | Pm | Wild
+
+val region_of_addr : int -> region
+
+(** Is the address inside persistent memory? *)
+val is_pm : int -> bool
+
+(** A volatile pointer: a valid address outside persistent memory. Used to
+    classify call arguments for the Trace-AA heuristic — integers that are
+    not addresses at all fall in neither class. *)
+val is_volatile_ptr : int -> bool
+
+val line_of_addr : int -> int
+val line_base : int -> int

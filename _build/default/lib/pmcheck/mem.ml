@@ -1,0 +1,148 @@
+(** Byte-addressable simulated memory.
+
+    The working PM image is what loads observe; the persisted image is what
+    survives a crash. Stores touch only the working image; the persistency
+    state machine ({!Pstate}) copies ranges into the persisted image when
+    they become durable (flush + fence, or [clflush]). *)
+
+exception Trap of string
+
+let trap fmt = Fmt.kstr (fun m -> raise (Trap m)) fmt
+
+type t = {
+  vol : Bytes.t;
+  stack : Bytes.t;
+  globals : Bytes.t;
+  pm : Bytes.t;  (** working image: CPU-cache view of PM *)
+  pm_persisted : Bytes.t;  (** durable image: what a crash preserves *)
+  mutable vol_brk : int;
+  mutable stack_brk : int;
+  mutable pm_brk : int;
+  global_addrs : (string * int) list;
+}
+
+let align8 n = (n + 7) land lnot 7
+
+let create ?(vol_size = 1 lsl 24) ?(stack_size = 1 lsl 22)
+    ?(global_size = 1 lsl 20) ?(pm_size = 1 lsl 24) ?pm_image
+    (globals : (string * int) list) =
+  let pm =
+    match pm_image with
+    | Some img ->
+        if Bytes.length img <> pm_size then
+          invalid_arg "Mem.create: pm_image size mismatch";
+        Bytes.copy img
+    | None -> Bytes.make pm_size '\000'
+  in
+  let global_addrs, _ =
+    List.fold_left
+      (fun (acc, off) (name, size) ->
+        if off + size > global_size then trap "global segment overflow";
+        ((name, Layout.global_base + off) :: acc, off + align8 size))
+      ([], 0) globals
+  in
+  {
+    vol = Bytes.make vol_size '\000';
+    stack = Bytes.make stack_size '\000';
+    globals = Bytes.make global_size '\000';
+    pm;
+    pm_persisted = Bytes.copy pm;
+    vol_brk = 0;
+    stack_brk = 0;
+    pm_brk = 0;
+    global_addrs;
+  }
+
+let global_addr t name =
+  match List.assoc_opt name t.global_addrs with
+  | Some a -> a
+  | None -> trap "unknown global @%s" name
+
+(* Region resolution: returns the backing buffer and the offset within it. *)
+let resolve t addr size =
+  let check buf base =
+    let off = addr - base in
+    if off < 0 || off + size > Bytes.length buf then
+      trap "out-of-bounds access at 0x%x (size %d)" addr size;
+    (buf, off)
+  in
+  match Layout.region_of_addr addr with
+  | Layout.Vol_heap -> check t.vol Layout.vol_base
+  | Layout.Stack -> check t.stack Layout.stack_base
+  | Layout.Globals -> check t.globals Layout.global_base
+  | Layout.Pm -> check t.pm Layout.pm_base
+  | Layout.Null_page -> trap "null-page access at 0x%x" addr
+  | Layout.Wild -> trap "wild access at 0x%x" addr
+
+let load t ~addr ~size =
+  let buf, off = resolve t addr size in
+  match size with
+  | 1 -> Bytes.get_uint8 buf off
+  | 2 -> Bytes.get_uint16_le buf off
+  | 4 -> Int32.to_int (Bytes.get_int32_le buf off) land 0xFFFFFFFF
+  | 8 -> Int64.to_int (Bytes.get_int64_le buf off)
+  | _ -> trap "bad load size %d" size
+
+let store t ~addr ~size v =
+  let buf, off = resolve t addr size in
+  match size with
+  | 1 -> Bytes.set_uint8 buf off (v land 0xFF)
+  | 2 -> Bytes.set_uint16_le buf off (v land 0xFFFF)
+  | 4 -> Bytes.set_int32_le buf off (Int32.of_int v)
+  | 8 ->
+      (* PMIR is a 63-bit machine (OCaml ints). Mask the sign extension so
+         byte 7 of a stored word round-trips through byte-wise loads. *)
+      Bytes.set_int64_le buf off
+        (Int64.logand (Int64.of_int v) 0x7FFF_FFFF_FFFF_FFFFL)
+  | _ -> trap "bad store size %d" size
+
+(** [persist_range t ~addr ~size] copies working PM content into the
+    persisted image (called by {!Pstate} when a range becomes durable). *)
+let persist_range t ~addr ~size =
+  let off = addr - Layout.pm_base in
+  if off < 0 || off + size > Bytes.length t.pm then
+    trap "persist_range outside PM at 0x%x" addr;
+  Bytes.blit t.pm off t.pm_persisted off size
+
+(** Snapshot of the durable image: the post-crash PM contents. *)
+let crash_image t = Bytes.copy t.pm_persisted
+
+(** Snapshot of the working image (i.e. assuming everything reached PM). *)
+let working_image t = Bytes.copy t.pm
+
+(* Allocators ------------------------------------------------------------- *)
+
+let alloc_vol t size =
+  let size = align8 (max size 1) in
+  if t.vol_brk + size > Bytes.length t.vol then trap "volatile heap exhausted";
+  let addr = Layout.vol_base + t.vol_brk in
+  t.vol_brk <- t.vol_brk + size;
+  addr
+
+(** PM allocations are cache-line aligned, as PMDK's allocator guarantees;
+    this keeps distinct objects from sharing flush granules. *)
+let alloc_pm t size =
+  let size = (max size 1 + 63) land lnot 63 in
+  if t.pm_brk + size > Bytes.length t.pm then trap "persistent heap exhausted";
+  let addr = Layout.pm_base + t.pm_brk in
+  t.pm_brk <- t.pm_brk + size;
+  addr
+
+let stack_mark t = t.stack_brk
+
+let stack_release t mark = t.stack_brk <- mark
+
+let alloc_stack t size =
+  let size = align8 (max size 1) in
+  if t.stack_brk + size > Bytes.length t.stack then trap "stack overflow";
+  let addr = Layout.stack_base + t.stack_brk in
+  t.stack_brk <- t.stack_brk + size;
+  addr
+
+(* Host-side convenience accessors ---------------------------------------- *)
+
+let write_string t ~addr s =
+  String.iteri (fun i c -> store t ~addr:(addr + i) ~size:1 (Char.code c)) s
+
+let read_string t ~addr ~len =
+  String.init len (fun i -> Char.chr (load t ~addr:(addr + i) ~size:1 land 0xFF))

@@ -1,0 +1,262 @@
+(** A second on-disk trace dialect, in PMTest's assertion-log style.
+
+    The paper (§5.1) notes Hippocrates "currently supports pmemcheck and
+    PMTest" and that porting further bug finders is easy because the
+    required contract is small: per-event operation type, binary location
+    and call stack. This module demonstrates that porting surface: the
+    same events and reports as the native (pmemcheck-style) format of
+    {!Trace}/{!Report}, rendered in a key=value assertion-log dialect.
+
+    PMTest-style traces do not carry the per-site pointer statistics the
+    Trace-AA heuristic needs (PMTest logs PM operations only), so repairs
+    driven from this format use the Full-AA oracle — matching how the
+    original consumed PMTest input. *)
+
+open Hippo_pmir
+
+let kv key value = key ^ "=" ^ value
+
+let render_stack (s : Trace.stack) =
+  kv "stack" (Trace.stack_to_string s)
+
+let event_to_line (ev : Trace.event) =
+  match ev with
+  | Trace.Store { iid; loc; stack; addr; size; nontemporal; seq } ->
+      String.concat " "
+        ([
+           "[PMTest] STORE";
+           kv "seq" (string_of_int seq);
+           kv "addr" (Fmt.str "0x%x" addr);
+           kv "size" (string_of_int size);
+           kv "nt" (string_of_bool nontemporal);
+           kv "id" (Iid.to_string iid);
+           kv "at" (Loc.to_string loc);
+         ]
+        @ [ render_stack stack ])
+  | Trace.Flush { iid; loc; stack; kind; line_addr; seq } ->
+      String.concat " "
+        [
+          "[PMTest] FLUSH";
+          kv "seq" (string_of_int seq);
+          kv "kind" (Instr.flush_kind_to_string kind);
+          kv "line" (Fmt.str "0x%x" line_addr);
+          kv "id" (Iid.to_string iid);
+          kv "at" (Loc.to_string loc);
+          render_stack stack;
+        ]
+  | Trace.Fence { iid; loc; stack; kind; seq } ->
+      String.concat " "
+        [
+          "[PMTest] FENCE";
+          kv "seq" (string_of_int seq);
+          kv "kind" (Instr.fence_kind_to_string kind);
+          kv "id" (Iid.to_string iid);
+          kv "at" (Loc.to_string loc);
+          render_stack stack;
+        ]
+  | Trace.Call { iid; loc; stack; callee; arg_classes; seq } ->
+      String.concat " "
+        [
+          "[PMTest] CALL";
+          kv "seq" (string_of_int seq);
+          kv "fn" callee;
+          kv "args"
+            (String.concat ","
+               (List.map Trace.arg_class_to_string arg_classes));
+          kv "id" (Iid.to_string iid);
+          kv "at" (Loc.to_string loc);
+          render_stack stack;
+        ]
+  | Trace.Crash_point { iid; loc; stack; seq } ->
+      String.concat " "
+        [
+          "[PMTest] CHECKPOINT";
+          kv "seq" (string_of_int seq);
+          kv "id"
+            (match iid with Some i -> Iid.to_string i | None -> "exit");
+          kv "at" (Loc.to_string loc);
+          render_stack stack;
+        ]
+
+let bug_to_line (b : Report.bug) =
+  String.concat " "
+    [
+      "[PMTest] ASSERT-FAIL";
+      kv "type" (Report.kind_to_string b.Report.kind);
+      kv "store" (Iid.to_string b.Report.store.iid);
+      kv "at" (Loc.to_string b.Report.store.loc);
+      kv "addr" (Fmt.str "0x%x" b.Report.store.addr);
+      kv "size" (string_of_int b.Report.store.size);
+      kv "stack" (Trace.stack_to_string b.Report.store.stack);
+      kv "crash"
+        (match b.Report.crash.crash_iid with
+        | Some i -> Iid.to_string i
+        | None -> "exit");
+      kv "crashat" (Loc.to_string b.Report.crash.crash_loc);
+      kv "crashstack" (Trace.stack_to_string b.Report.crash.crash_stack);
+      kv "flush"
+        (match b.Report.ordering_flush with
+        | Some i -> Iid.to_string i
+        | None -> "-");
+    ]
+
+let to_string ~(events : Trace.event list) ~(bugs : Report.bug list) =
+  String.concat "\n"
+    (List.map event_to_line events @ List.map bug_to_line bugs)
+
+(* Parsing ---------------------------------------------------------------- *)
+
+let fields_of_line line =
+  (* "[PMTest] VERB k=v k=v ..." — values contain no spaces by
+     construction (stacks use '<' and ';') *)
+  match String.split_on_char ' ' line with
+  | "[PMTest]" :: verb :: rest ->
+      let kvs =
+        List.filter_map
+          (fun tok ->
+            match String.index_opt tok '=' with
+            | Some k ->
+                Some
+                  ( String.sub tok 0 k,
+                    String.sub tok (k + 1) (String.length tok - k - 1) )
+            | None -> None)
+          rest
+      in
+      (verb, kvs)
+  | _ -> Trace.bad "not a PMTest line: %S" line
+
+let field kvs name =
+  match List.assoc_opt name kvs with
+  | Some v -> v
+  | None -> Trace.bad "PMTest line missing %S" name
+
+let opt_stack kvs name =
+  match List.assoc_opt name kvs with
+  | Some s -> Trace.parse_stack s
+  | None -> []
+
+let event_of_line line : Trace.event =
+  let verb, kvs = fields_of_line line in
+  let seq = Trace.parse_int (field kvs "seq") in
+  let stack = opt_stack kvs "stack" in
+  match verb with
+  | "STORE" ->
+      Trace.Store
+        {
+          iid = Trace.parse_iid (field kvs "id");
+          loc = Trace.parse_loc (field kvs "at");
+          stack;
+          addr = Trace.parse_int (field kvs "addr");
+          size = Trace.parse_int (field kvs "size");
+          nontemporal = Trace.parse_bool (field kvs "nt");
+          seq;
+        }
+  | "FLUSH" ->
+      let kind =
+        match Instr.flush_kind_of_string (field kvs "kind") with
+        | Some k -> k
+        | None -> Trace.bad "bad flush kind"
+      in
+      Trace.Flush
+        {
+          iid = Trace.parse_iid (field kvs "id");
+          loc = Trace.parse_loc (field kvs "at");
+          stack;
+          kind;
+          line_addr = Trace.parse_int (field kvs "line");
+          seq;
+        }
+  | "FENCE" ->
+      let kind =
+        match Instr.fence_kind_of_string (field kvs "kind") with
+        | Some k -> k
+        | None -> Trace.bad "bad fence kind"
+      in
+      Trace.Fence
+        {
+          iid = Trace.parse_iid (field kvs "id");
+          loc = Trace.parse_loc (field kvs "at");
+          stack;
+          kind;
+          seq;
+        }
+  | "CALL" ->
+      let arg_classes =
+        match field kvs "args" with
+        | "" -> []
+        | s ->
+            List.map
+              (fun c ->
+                match Trace.arg_class_of_string c with
+                | Some c -> c
+                | None -> Trace.bad "bad arg class")
+              (String.split_on_char ',' s)
+      in
+      Trace.Call
+        {
+          iid = Trace.parse_iid (field kvs "id");
+          loc = Trace.parse_loc (field kvs "at");
+          stack;
+          callee = field kvs "fn";
+          arg_classes;
+          seq;
+        }
+  | "CHECKPOINT" ->
+      Trace.Crash_point
+        {
+          iid =
+            (match field kvs "id" with
+            | "exit" -> None
+            | s -> Some (Trace.parse_iid s));
+          loc = Trace.parse_loc (field kvs "at");
+          stack;
+          seq;
+        }
+  | v -> Trace.bad "unknown PMTest verb %S" v
+
+let bug_of_line line : Report.bug =
+  let verb, kvs = fields_of_line line in
+  if verb <> "ASSERT-FAIL" then Trace.bad "not a PMTest assertion: %S" line;
+  let kind =
+    match Report.kind_of_string (field kvs "type") with
+    | Some k -> k
+    | None -> Trace.bad "bad bug type"
+  in
+  {
+    Report.kind;
+    store =
+      {
+        iid = Trace.parse_iid (field kvs "store");
+        loc = Trace.parse_loc (field kvs "at");
+        stack = opt_stack kvs "stack";
+        addr = Trace.parse_int (field kvs "addr");
+        size = Trace.parse_int (field kvs "size");
+      };
+    crash =
+      {
+        crash_iid =
+          (match field kvs "crash" with
+          | "exit" -> None
+          | s -> Some (Trace.parse_iid s));
+        crash_loc = Trace.parse_loc (field kvs "crashat");
+        crash_stack = opt_stack kvs "crashstack";
+      };
+    ordering_flush =
+      (match field kvs "flush" with
+      | "-" -> None
+      | s -> Some (Trace.parse_iid s));
+  }
+
+let is_bug_line line =
+  match fields_of_line line with
+  | "ASSERT-FAIL", _ -> true
+  | _ -> false
+
+(** Parse a whole PMTest-format trace into events and bug reports. *)
+let of_string s : Trace.event list * Report.bug list =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  let bug_lines, event_lines = List.partition is_bug_line lines in
+  (List.map event_of_line event_lines, List.map bug_of_line bug_lines)

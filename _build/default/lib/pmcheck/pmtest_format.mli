@@ -1,0 +1,21 @@
+(** A second on-disk trace dialect, in PMTest's assertion-log style
+    (key=value records). Demonstrates the small porting surface the paper
+    describes (§5.1): the same events and bug reports as the native
+    pmemcheck-style format, in a different syntax.
+
+    PMTest-style traces carry no per-site pointer statistics, so repairs
+    driven from this format use the Full-AA oracle. *)
+
+
+val event_to_line : Trace.event -> string
+val bug_to_line : Report.bug -> string
+
+(** Serialize a full trace: events, then assertion failures. *)
+val to_string : events:Trace.event list -> bugs:Report.bug list -> string
+
+val event_of_line : string -> Trace.event
+val bug_of_line : string -> Report.bug
+
+(** Parse a whole PMTest-format trace into events and bug reports. Raises
+    {!Trace.Bad_trace}. *)
+val of_string : string -> Trace.event list * Report.bug list

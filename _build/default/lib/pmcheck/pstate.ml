@@ -1,0 +1,219 @@
+(** The persistency state machine (paper §4.2 definitions).
+
+    Tracks, per PM store, whether the stored range is still {e dirty} in
+    the CPU cache, {e pending} (covered by a weakly-ordered flush that no
+    fence has ordered yet), or durable. Durable ranges are copied into the
+    persisted image so crash simulation sees exactly the bytes a real crash
+    would preserve.
+
+    Deterministic-pessimistic model: lines are never spontaneously evicted,
+    so "may still be volatile at the crash" becomes "is volatile at the
+    crash" — the same worst-case stance pmemcheck takes when it reports
+    every unflushed store. *)
+
+open Hippo_pmir
+
+type state = Dirty | Pending
+
+type record = {
+  iid : Iid.t;
+  loc : Loc.t;
+  stack : Trace.stack;
+  addr : int;
+  size : int;
+  seq : int;  (** global event sequence number of the store *)
+  mutable state : state;
+  mutable snapshot : string;  (** bytes captured at flush time *)
+  mutable flushed_by : Iid.t option;  (** the flush that moved it to pending *)
+}
+
+type t = {
+  lines : (int, record list ref) Hashtbl.t;  (** keyed by start line index *)
+  mutable pending : record list;
+  mutable last_fence_seq : int;
+  mutable flushes_total : int;
+  mutable flushes_clean : int;  (** flushes that moved no dirty data *)
+  mutable fences_total : int;
+  mutable stores_pm_total : int;
+}
+
+let create () =
+  {
+    lines = Hashtbl.create 1024;
+    pending = [];
+    last_fence_seq = -1;
+    flushes_total = 0;
+    flushes_clean = 0;
+    fences_total = 0;
+    stores_pm_total = 0;
+  }
+
+let bucket t line =
+  match Hashtbl.find_opt t.lines line with
+  | Some b -> b
+  | None ->
+      let b = ref [] in
+      Hashtbl.add t.lines line b;
+      b
+
+(** Record a PM store. Overlapping older {e dirty} records are superseded:
+    the new store re-dirties the range, so only the newest cached value's
+    durability matters. Pending records are left alone — they model
+    writebacks already in flight toward the write-pending queue, which a
+    later store to the same range cannot recall. *)
+let store t ~iid ~loc ~stack ~addr ~size ~seq =
+  t.stores_pm_total <- t.stores_pm_total + 1;
+  let lo = addr and hi = addr + size in
+  let line_lo = Layout.line_of_addr lo
+  and line_hi = Layout.line_of_addr (hi - 1) in
+  for line = line_lo to line_hi do
+    let b = bucket t line in
+    b :=
+      List.filter
+        (fun r ->
+          not (r.state = Dirty && r.addr >= lo && r.addr + r.size <= hi))
+        !b
+  done;
+  let r =
+    { iid; loc; stack; addr; size; seq; state = Dirty; snapshot = "";
+      flushed_by = None }
+  in
+  for line = line_lo to line_hi do
+    let b = bucket t line in
+    b := r :: !b
+  done;
+  r
+
+(** Nontemporal stores bypass the cache into the write-pending queue: they
+    are durable after the next fence, without any flush. *)
+let store_nt t mem ~iid ~loc ~stack ~addr ~size ~seq =
+  let r = store t ~iid ~loc ~stack ~addr ~size ~seq in
+  r.state <- Pending;
+  r.snapshot <- Mem.read_string mem ~addr ~len:size;
+  t.pending <- r :: t.pending
+
+(* Make a record's flush-time snapshot durable. The snapshot (not the
+   current working bytes) is what the flush wrote back: stores issued to
+   the same range after the flush but before the fence are not covered. *)
+let commit_snapshot mem (r : record) =
+  let off = r.addr - Layout.pm_base in
+  Bytes.blit_string r.snapshot 0 mem.Mem.pm_persisted off (String.length r.snapshot)
+
+let remove_record t (r : record) =
+  let line_lo = Layout.line_of_addr r.addr
+  and line_hi = Layout.line_of_addr (r.addr + r.size - 1) in
+  for line = line_lo to line_hi do
+    match Hashtbl.find_opt t.lines line with
+    | None -> ()
+    | Some b -> b := List.filter (fun x -> not (x == r)) !b
+  done
+
+(** Flush the cache line containing [addr]. Dirty records intersecting the
+    line capture their current working bytes and become pending ([Clwb],
+    [Clflushopt]) or immediately durable ([Clflush], which the ISA orders
+    with respect to stores to the same line). Returns the number of dirty
+    records the flush transitioned. *)
+let compare_seq a b = Int.compare a.seq b.seq
+
+let flush t mem ~iid ~kind ~addr =
+  t.flushes_total <- t.flushes_total + 1;
+  if not (Layout.is_pm addr) then 0
+  else begin
+    let line = Layout.line_of_addr addr in
+    let lo = line * Layout.cache_line and hi = (line + 1) * Layout.cache_line in
+    let affected = ref [] in
+    List.iter
+      (fun b ->
+        List.iter
+          (fun r ->
+            if r.state = Dirty && r.addr < hi && lo < r.addr + r.size then
+              affected := r :: !affected)
+          !b)
+      (List.filter_map (Hashtbl.find_opt t.lines) [ line - 1; line ]);
+    let affected = List.sort_uniq compare_seq !affected in
+    List.iter
+      (fun r ->
+        r.snapshot <- Mem.read_string mem ~addr:r.addr ~len:r.size;
+        r.flushed_by <- Some iid;
+        match kind with
+        | Instr.Clflush ->
+            commit_snapshot mem r;
+            remove_record t r
+        | Instr.Clwb | Instr.Clflushopt ->
+            r.state <- Pending;
+            t.pending <- r :: t.pending)
+      affected;
+    if affected = [] then t.flushes_clean <- t.flushes_clean + 1;
+    List.length affected
+  end
+
+(** A fence orders every pending flush: pending records become durable.
+    Returns the number of {e distinct cache lines} drained — the
+    write-pending-queue drain work a real sfence waits for. *)
+let fence t mem ~seq =
+  t.fences_total <- t.fences_total + 1;
+  t.last_fence_seq <- seq;
+  let lines = Hashtbl.create 16 in
+  (* Write-backs of overlapping ranges land in store order: commit oldest
+     first so the newest flushed snapshot is the one that survives. *)
+  List.iter
+    (fun r ->
+      Hashtbl.replace lines (Layout.line_of_addr r.addr) ();
+      commit_snapshot mem r;
+      remove_record t r)
+    (List.sort compare_seq t.pending);
+  t.pending <- [];
+  Hashtbl.length lines
+
+(** All still-unpersisted records, classified (paper §4.2): a [Dirty]
+    record whose store precedes the last fence is a missing-flush (a fence
+    that could order a flush exists); a [Dirty] record with no subsequent
+    fence is missing-flush&fence; a [Pending] record is missing-fence. *)
+let unpersisted_bugs t ~(crash : Report.crash_info) : Report.bug list =
+  let seen = Hashtbl.create 64 in
+  let bugs = ref [] in
+  Hashtbl.iter
+    (fun _ b ->
+      List.iter
+        (fun r ->
+          if not (Hashtbl.mem seen r.seq) then begin
+            Hashtbl.add seen r.seq ();
+            let kind =
+              match r.state with
+              | Pending -> Report.Missing_fence
+              | Dirty ->
+                  if r.seq < t.last_fence_seq then Report.Missing_flush
+                  else Report.Missing_flush_fence
+            in
+            bugs :=
+              {
+                Report.kind;
+                store =
+                  {
+                    iid = r.iid;
+                    loc = r.loc;
+                    stack = r.stack;
+                    addr = r.addr;
+                    size = r.size;
+                  };
+                crash;
+                ordering_flush = r.flushed_by;
+              }
+              :: !bugs
+          end)
+        !b)
+    t.lines;
+  List.sort
+    (fun (a : Report.bug) b -> Loc.compare a.store.loc b.store.loc)
+    !bugs
+
+(** Count of records not yet durable (dirty or pending). *)
+let unpersisted_count t =
+  let seen = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _ b ->
+      List.iter (fun r -> Hashtbl.replace seen r.seq ()) !b)
+    t.lines;
+  Hashtbl.length seen
+
+let pending_count t = List.length t.pending

@@ -1,0 +1,84 @@
+(** The persistency state machine (paper §4.2 definitions).
+
+    Tracks, per PM store, whether the stored range is still {e dirty} in
+    the CPU cache, {e pending} (covered by a weakly-ordered flush that no
+    fence has ordered yet), or durable. Durable ranges are copied into the
+    persisted image, so crash simulation sees exactly the bytes a real
+    crash would preserve.
+
+    Deterministic-pessimistic model: lines are never spontaneously
+    evicted, so "may still be volatile at the crash" becomes "is volatile
+    at the crash" — the same worst-case stance pmemcheck takes. *)
+
+open Hippo_pmir
+
+type state = Dirty | Pending
+
+type record = {
+  iid : Iid.t;
+  loc : Loc.t;
+  stack : Trace.stack;
+  addr : int;
+  size : int;
+  seq : int;  (** global event sequence number of the store *)
+  mutable state : state;
+  mutable snapshot : string;  (** bytes captured at flush time *)
+  mutable flushed_by : Iid.t option;  (** the flush that made it pending *)
+}
+
+type t = {
+  lines : (int, record list ref) Hashtbl.t;
+  mutable pending : record list;
+  mutable last_fence_seq : int;
+  mutable flushes_total : int;
+  mutable flushes_clean : int;  (** flushes that moved no dirty data *)
+  mutable fences_total : int;
+  mutable stores_pm_total : int;
+}
+
+val create : unit -> t
+
+(** Record a PM store. Overlapping older {e dirty} records are superseded;
+    pending records (write-backs already in flight) are left alone. *)
+val store :
+  t ->
+  iid:Iid.t ->
+  loc:Loc.t ->
+  stack:Trace.stack ->
+  addr:int ->
+  size:int ->
+  seq:int ->
+  record
+
+(** Nontemporal stores bypass the cache into the write-pending queue:
+    durable after the next fence, without any flush. *)
+val store_nt :
+  t ->
+  Mem.t ->
+  iid:Iid.t ->
+  loc:Loc.t ->
+  stack:Trace.stack ->
+  addr:int ->
+  size:int ->
+  seq:int ->
+  unit
+
+(** Flush the cache line containing [addr]. Dirty records intersecting the
+    line capture their current working bytes and become pending ([Clwb],
+    [Clflushopt]) or immediately durable ([Clflush]). Returns the number
+    of records transitioned. No effect outside PM. *)
+val flush : t -> Mem.t -> iid:Iid.t -> kind:Instr.flush_kind -> addr:int -> int
+
+(** A fence makes every pending record durable (committing the
+    flush-time snapshots). Returns the number of {e distinct cache lines}
+    drained — the write-pending-queue work a real sfence waits for. *)
+val fence : t -> Mem.t -> seq:int -> int
+
+(** All still-unpersisted records, classified per §4.2: [Dirty] with a
+    later fence = missing-flush; [Dirty] with no later fence =
+    missing-flush&fence; [Pending] = missing-fence. Sorted by source
+    location. *)
+val unpersisted_bugs : t -> crash:Report.crash_info -> Report.bug list
+
+val unpersisted_count : t -> int
+val pending_count : t -> int

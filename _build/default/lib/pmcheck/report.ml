@@ -1,0 +1,125 @@
+(** Durability-bug reports (paper §2.1, §4.2).
+
+    A bug is an update [X] to persistent memory that the program required to
+    be durable before an instruction [I] (a crash point or program exit),
+    for which no [X -> F(X) -> M -> I] chain exists:
+
+    - {e missing-flush}: no flush covered the store, but a later fence
+      exists (inserting one flush before that fence suffices);
+    - {e missing-fence}: a flush covered the store but no fence ordered it;
+    - {e missing-flush&fence}: neither exists. *)
+
+open Hippo_pmir
+
+type kind = Missing_flush | Missing_fence | Missing_flush_fence
+
+let kind_to_string = function
+  | Missing_flush -> "missing-flush"
+  | Missing_fence -> "missing-fence"
+  | Missing_flush_fence -> "missing-flush&fence"
+
+let kind_of_string = function
+  | "missing-flush" -> Some Missing_flush
+  | "missing-fence" -> Some Missing_fence
+  | "missing-flush&fence" -> Some Missing_flush_fence
+  | _ -> None
+
+type store_info = {
+  iid : Iid.t;
+  loc : Loc.t;
+  stack : Trace.stack;
+  addr : int;
+  size : int;
+}
+
+type crash_info = {
+  crash_iid : Iid.t option;  (** [None] = implicit crash point at exit *)
+  crash_loc : Loc.t;
+  crash_stack : Trace.stack;
+}
+
+type bug = {
+  kind : kind;
+  store : store_info;
+  crash : crash_info;
+  ordering_flush : Iid.t option;
+      (** for missing-fence bugs: the flush that covered the store but was
+          never ordered — the natural insertion point for the fence fix *)
+}
+
+(** Two dynamic reports are the same static bug when the same store
+    instruction is unpersisted for the same reason, at the same crash
+    point, through the same chain of call sites — the deduplication
+    pmemcheck performs on repeated executions of a source line (e.g. in
+    loops). Reports of one store reached through {e different} call chains
+    stay distinct: each chain is a separate fix opportunity for the
+    hoisting heuristic (a hoist at one call site does not cover the
+    others). *)
+let same_static_bug a b =
+  let stack_sites (s : Trace.stack) =
+    List.map (fun (f : Trace.frame) -> f.Trace.callsite) s
+  in
+  a.kind = b.kind
+  && Iid.equal a.store.iid b.store.iid
+  && Option.equal Iid.equal a.crash.crash_iid b.crash.crash_iid
+  && List.equal (Option.equal Iid.equal)
+       (stack_sites a.store.stack)
+       (stack_sites b.store.stack)
+
+let dedup bugs =
+  List.fold_left
+    (fun acc b -> if List.exists (same_static_bug b) acc then acc else b :: acc)
+    [] bugs
+  |> List.rev
+
+let pp_bug ppf b =
+  Fmt.pf ppf "[%s] store at %a (%a), 0x%x+%d, unpersisted at %a"
+    (kind_to_string b.kind) Loc.pp b.store.loc Iid.pp b.store.iid b.store.addr
+    b.store.size Loc.pp b.crash.crash_loc
+
+let bug_to_string b = Fmt.str "%a" pp_bug b
+
+(* On-disk form, appended to trace files the way pmemcheck appends its
+   error summary after the operation log. *)
+
+let to_line b =
+  Fmt.str "BUG;%s;%a;%a;0x%x;%d;%s;%s;%a;%s;%s"
+    (kind_to_string b.kind) Iid.pp b.store.iid Loc.pp b.store.loc b.store.addr
+    b.store.size
+    (Trace.stack_to_string b.store.stack)
+    (match b.crash.crash_iid with
+    | Some i -> Iid.to_string i
+    | None -> "exit")
+    Loc.pp b.crash.crash_loc
+    (Trace.stack_to_string b.crash.crash_stack)
+    (match b.ordering_flush with Some i -> Iid.to_string i | None -> "-")
+
+let of_line line =
+  match String.split_on_char ';' line with
+  | [ "BUG"; kind; siid; sloc; addr; size; sstack; ciid; cloc; cstack; oflush ] ->
+      let kind =
+        match kind_of_string kind with
+        | Some k -> k
+        | None -> Trace.bad "bad bug kind %S" kind
+      in
+      {
+        kind;
+        store =
+          {
+            iid = Trace.parse_iid siid;
+            loc = Trace.parse_loc sloc;
+            stack = Trace.parse_stack sstack;
+            addr = Trace.parse_int addr;
+            size = Trace.parse_int size;
+          };
+        crash =
+          {
+            crash_iid =
+              (if ciid = "exit" then None else Some (Trace.parse_iid ciid));
+            crash_loc = Trace.parse_loc cloc;
+            crash_stack = Trace.parse_stack cstack;
+          };
+        ordering_flush =
+          (if oflush = "-" then None else Some (Trace.parse_iid oflush));
+      }
+  | _ -> Trace.bad "unparseable bug line %S" line

@@ -1,0 +1,57 @@
+(** Durability-bug reports (paper §2.1, §4.2).
+
+    A bug is an update [X] to persistent memory that the program required
+    to be durable before an instruction [I] (a crash point or program
+    exit), for which no [X -> F(X) -> M -> I] chain exists:
+
+    - {e missing-flush}: no flush covered the store, but a later fence
+      exists (one flush before that fence suffices);
+    - {e missing-fence}: a flush covered the store but no fence ordered
+      it;
+    - {e missing-flush&fence}: neither exists. *)
+
+open Hippo_pmir
+
+type kind = Missing_flush | Missing_fence | Missing_flush_fence
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> kind option
+
+type store_info = {
+  iid : Iid.t;
+  loc : Loc.t;
+  stack : Trace.stack;
+  addr : int;
+  size : int;
+}
+
+type crash_info = {
+  crash_iid : Iid.t option;  (** [None] = implicit crash point at exit *)
+  crash_loc : Loc.t;
+  crash_stack : Trace.stack;
+}
+
+type bug = {
+  kind : kind;
+  store : store_info;
+  crash : crash_info;
+  ordering_flush : Iid.t option;
+      (** for missing-fence bugs: the flush that covered the store but was
+          never ordered — the natural insertion point for the fence fix *)
+}
+
+(** Two dynamic reports are the same static bug when the same store
+    instruction is unpersisted for the same reason, at the same crash
+    point, through the same chain of call sites. Reports of one store
+    reached through {e different} call chains stay distinct: each chain is
+    a separate fix opportunity for the hoisting heuristic. *)
+val same_static_bug : bug -> bug -> bool
+
+val dedup : bug list -> bug list
+val pp_bug : Format.formatter -> bug -> unit
+val bug_to_string : bug -> string
+
+(** On-disk form ("BUG;..." lines appended after a trace's event log). *)
+val to_line : bug -> string
+
+val of_line : string -> bug

@@ -1,0 +1,31 @@
+(** Aggregated per-site pointer-class observations.
+
+    For each store instruction (key index [-1] = the address operand) and
+    each call-site argument position: how many dynamic executions saw a
+    persistent pointer and how many saw a volatile one. The dynamic
+    counterpart of the static alias counts — the Trace-AA heuristic
+    variant (paper §6.1) scores fix candidates from these counters alone,
+    with no static analysis. *)
+
+open Hippo_pmir
+
+type obs = { mutable pm : int; mutable vol : int }
+
+type key = { site : Iid.t; arg : int }
+
+type t
+
+val create : unit -> t
+
+(** [observe t ~site ~arg cls] bumps the counter; [Not_ptr] observations
+    are ignored. *)
+val observe : t -> site:Iid.t -> arg:int -> Trace.arg_class -> unit
+
+val find : t -> site:Iid.t -> arg:int -> obs option
+val fold : (key -> obs -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** "STAT;iid;arg;pm;vol" lines, sorted (appended after a trace's event
+    log). *)
+val to_lines : t -> string list
+
+val of_lines : string list -> t

@@ -1,0 +1,1 @@
+lib/pmdk_mini/bugs.ml: Builder Case Hippo_pmcheck Hippo_pmir Interp Program Report Runtime Validate Value

@@ -1,0 +1,1 @@
+lib/pmdk_mini/bugs.mli: Case

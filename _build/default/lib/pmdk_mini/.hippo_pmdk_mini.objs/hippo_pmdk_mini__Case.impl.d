@@ -1,0 +1,1 @@
+lib/pmdk_mini/case.ml: Fix Fmt Hippo_core Hippo_pmcheck Hippo_pmir Iid Interp Lazy List Program Report

@@ -1,0 +1,1 @@
+lib/pmdk_mini/case.mli: Fix Format Hippo_core Hippo_pmcheck Hippo_pmir Interp Lazy Program Report

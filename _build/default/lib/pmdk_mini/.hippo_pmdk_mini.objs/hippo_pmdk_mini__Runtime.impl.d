@@ -1,0 +1,1 @@
+lib/pmdk_mini/runtime.ml: Builder Hippo_pmcheck Hippo_pmir Instr Value

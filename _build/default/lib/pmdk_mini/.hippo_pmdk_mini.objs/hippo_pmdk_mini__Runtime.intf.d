@@ -1,0 +1,1 @@
+lib/pmdk_mini/runtime.mli: Hippo_pmir

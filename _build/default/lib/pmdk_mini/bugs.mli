@@ -1,0 +1,24 @@
+(** The 11 reproduced PMDK unit-test bugs (§6.1, Fig. 3).
+
+    Each case is a miniature of the cited upstream issue, preserving the
+    structural property that determined how it was fixed: issues 452, 940
+    and 943 update single-cache-line PM fields reached only through
+    persistent pointers (intraprocedural [clwb] fixes, more-portable
+    developer fixes); issues 447, 458, 459, 460, 461, 585, 942 and 945
+    write through helpers shared with volatile paths (interprocedural
+    fixes identical to the developer's; 459 and 945 hoist two frames). *)
+
+val case_447 : Case.t
+val case_452 : Case.t
+val case_458 : Case.t
+val case_459 : Case.t
+val case_460 : Case.t
+val case_461 : Case.t
+val case_585 : Case.t
+val case_940 : Case.t
+val case_942 : Case.t
+val case_943 : Case.t
+val case_945 : Case.t
+
+(** All 11, ordered by issue number. *)
+val all : Case.t list

@@ -1,0 +1,120 @@
+(** A miniature libpmem: the PMDK runtime functions the subject programs
+    link against, emitted as PMIR.
+
+    [pmem_flush]/[pmem_drain]/[pmem_persist] follow libpmem's semantics:
+    flush every cache line of a range, fence, or both. [memcpy]/[memset]
+    are the shared, durability-oblivious primitives whose dual use on
+    volatile and persistent data creates the paper's central fix-placement
+    tension (§3.2): the correct developer practice is
+    [memcpy] + [pmem_persist] (Listing 2), and a naive intraprocedural
+    repair inside [memcpy] is what ruins performance. *)
+
+open Hippo_pmir
+
+let line = Hippo_pmcheck.Layout.cache_line
+
+(** Emit the runtime into [b]. Every function is plain PMIR, so Hippocrates
+    can transform runtime functions exactly as it transforms application
+    code (the original operates on whole-program LLVM bitcode the same
+    way). *)
+let add (b : Builder.t) : unit =
+  let open Builder in
+  (* memcpy: word-at-a-time when both pointers and the length are 8-byte
+     aligned, byte loop otherwise. *)
+  let _ =
+    func b "memcpy" [ "dst"; "src"; "len" ] ~body:(fun fb ->
+        let dst = Value.reg "dst"
+        and src = Value.reg "src"
+        and len = Value.reg "len" in
+        let misalign = band fb (bor fb (bor fb dst src) len) (Value.imm 7) in
+        if_ fb
+          (eq fb misalign (Value.imm 0))
+          ~then_:(fun () ->
+            ignore (set fb "w" (Value.imm 0));
+            while_ fb
+              ~cond:(fun () -> lt fb (Value.reg "w") len)
+              ~body:(fun () ->
+                let s = gep fb src (Value.reg "w") in
+                let v = load fb ~size:8 s in
+                let d = gep fb dst (Value.reg "w") in
+                store fb ~size:8 ~addr:d v;
+                ignore (set fb "w" (add fb (Value.reg "w") (Value.imm 8)))))
+          ~else_:(fun () ->
+            for_ fb "i" ~from:(Value.imm 0) ~below:len ~body:(fun i ->
+                let s = gep fb src i in
+                let v = load fb ~size:1 s in
+                let d = gep fb dst i in
+                store fb ~size:1 ~addr:d v))
+          ();
+        ret fb dst)
+  in
+  let _ =
+    func b "memset" [ "dst"; "c"; "len" ] ~body:(fun fb ->
+        let dst = Value.reg "dst" in
+        for_ fb "i" ~from:(Value.imm 0) ~below:(Value.reg "len")
+          ~body:(fun i ->
+            let d = gep fb dst i in
+            store fb ~size:1 ~addr:d (Value.reg "c"));
+        ret fb dst)
+  in
+  (* memcmp: returns 1 when the ranges are equal, 0 otherwise. *)
+  let _ =
+    func b "memcmp_eq" [ "a"; "b"; "len" ] ~body:(fun fb ->
+        ignore (set fb "ok" (Value.imm 1));
+        for_ fb "i" ~from:(Value.imm 0) ~below:(Value.reg "len")
+          ~body:(fun i ->
+            let va = load fb ~size:1 (gep fb (Value.reg "a") i) in
+            let vb = load fb ~size:1 (gep fb (Value.reg "b") i) in
+            if_ fb (ne fb va vb)
+              ~then_:(fun () -> ignore (set fb "ok" (Value.imm 0)))
+              ());
+        ret fb (Value.reg "ok"))
+  in
+  (* FNV-1a over a byte range; masked to stay within 62 bits. *)
+  let _ =
+    func b "hash_fnv" [ "ptr"; "len" ] ~body:(fun fb ->
+        ignore (set fb "h" (Value.imm 0x100001b3));
+        for_ fb "i" ~from:(Value.imm 0) ~below:(Value.reg "len")
+          ~body:(fun i ->
+            let c = load fb ~size:1 (gep fb (Value.reg "ptr") i) in
+            let x = bxor fb (Value.reg "h") c in
+            let m = mul fb x (Value.imm 0x01000193) in
+            ignore (set fb "h" (band fb m (Value.imm 0x3FFFFFFFFFFFFFF))));
+        ret fb (Value.reg "h"))
+  in
+  (* pmem_flush: flush every cache line intersecting [addr, addr+len). *)
+  let _ =
+    func b "pmem_flush" [ "addr"; "len" ] ~body:(fun fb ->
+        let base =
+          band fb (Value.reg "addr") (Value.imm (lnot (line - 1)))
+        in
+        let limit = add fb (Value.reg "addr") (Value.reg "len") in
+        ignore (set fb "p" base);
+        while_ fb
+          ~cond:(fun () -> lt fb (Value.reg "p") limit)
+          ~body:(fun () ->
+            flush fb ~kind:Instr.Clwb (Value.reg "p");
+            ignore
+              (set fb "p" (add fb (Value.reg "p") (Value.imm line))));
+        ret_void fb)
+  in
+  let _ =
+    func b "pmem_drain" [] ~body:(fun fb ->
+        fence fb ~kind:Instr.Sfence ();
+        ret_void fb)
+  in
+  let _ =
+    func b "pmem_persist" [ "addr"; "len" ] ~body:(fun fb ->
+        call_void fb "pmem_flush" [ Value.reg "addr"; Value.reg "len" ];
+        call_void fb "pmem_drain" [];
+        ret_void fb)
+  in
+  let _ =
+    func b "pmem_memcpy_persist" [ "dst"; "src"; "len" ] ~body:(fun fb ->
+        let r =
+          call fb "memcpy" [ Value.reg "dst"; Value.reg "src"; Value.reg "len" ]
+        in
+        call_void fb "pmem_persist" [ Value.reg "dst"; Value.reg "len" ];
+        ret fb r)
+  in
+  ()

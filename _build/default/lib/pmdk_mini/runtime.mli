@@ -1,0 +1,17 @@
+(** A miniature libpmem: the PMDK runtime functions the subject programs
+    link against, emitted as PMIR.
+
+    Provided functions (all plain PMIR, so Hippocrates can transform them
+    exactly like application code):
+
+    - [memcpy(dst, src, len)] / [memset(dst, c, len)] — the shared,
+      durability-oblivious primitives whose dual use on volatile and
+      persistent data creates the paper's central fix-placement tension;
+    - [memcmp_eq(a, b, len)] — 1 when equal;
+    - [hash_fnv(ptr, len)] — FNV-1a;
+    - [pmem_flush(addr, len)] / [pmem_drain()] / [pmem_persist(addr, len)]
+      — libpmem semantics: flush every line of a range, fence, or both;
+    - [pmem_memcpy_persist(dst, src, len)] — the Listing-2 idiom. *)
+
+(** Emit the runtime into a builder. *)
+val add : Hippo_pmir.Builder.t -> unit

@@ -1,0 +1,1 @@
+lib/pmir/builder.ml: Func Iid Instr List Loc Option Printf Program Value

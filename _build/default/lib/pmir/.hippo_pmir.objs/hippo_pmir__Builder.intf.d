@@ -1,0 +1,1 @@
+lib/pmir/builder.mli: Instr Program Value

@@ -1,0 +1,1 @@
+lib/pmir/clone.ml: Func Iid Instr List

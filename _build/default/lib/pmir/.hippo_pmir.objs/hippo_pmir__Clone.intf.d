@@ -1,0 +1,1 @@
+lib/pmir/clone.mli: Func Iid

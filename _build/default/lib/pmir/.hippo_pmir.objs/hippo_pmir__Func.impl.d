@@ -1,0 +1,1 @@
+lib/pmir/func.ml: Fmt Iid Instr List String

@@ -1,0 +1,1 @@
+lib/pmir/func.mli: Iid Instr Value

@@ -1,0 +1,1 @@
+lib/pmir/iid.ml: Fmt Hashtbl Int Map Set String

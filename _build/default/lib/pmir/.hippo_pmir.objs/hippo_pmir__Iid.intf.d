@@ -1,0 +1,1 @@
+lib/pmir/iid.mli: Format Hashtbl Map Set

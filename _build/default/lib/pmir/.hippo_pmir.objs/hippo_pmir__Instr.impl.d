@@ -1,0 +1,1 @@
+lib/pmir/instr.ml: Bool Fmt Iid List Loc Option String Value

@@ -1,0 +1,1 @@
+lib/pmir/instr.mli: Format Iid Loc Value

@@ -1,0 +1,1 @@
+lib/pmir/loc.ml: Fmt Int String

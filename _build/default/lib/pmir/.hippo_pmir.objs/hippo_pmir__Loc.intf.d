@@ -1,0 +1,1 @@
+lib/pmir/loc.mli: Format

@@ -1,0 +1,1 @@
+lib/pmir/parser.ml: Fmt Fun Func Iid Instr List Loc Program String Value

@@ -1,0 +1,1 @@
+lib/pmir/parser.mli: Program

@@ -1,0 +1,1 @@
+lib/pmir/printer.ml: Fmt Func Instr List Program

@@ -1,0 +1,1 @@
+lib/pmir/printer.mli: Format Func Program

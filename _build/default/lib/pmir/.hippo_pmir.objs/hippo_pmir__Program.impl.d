@@ -1,0 +1,1 @@
+lib/pmir/program.ml: Fmt Func Iid List Map Option String

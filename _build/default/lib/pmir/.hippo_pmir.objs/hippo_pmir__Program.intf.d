@@ -1,0 +1,1 @@
+lib/pmir/program.mli: Func Iid Instr

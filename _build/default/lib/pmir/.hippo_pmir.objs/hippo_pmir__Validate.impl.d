@@ -1,0 +1,1 @@
+lib/pmir/validate.ml: Fmt Func Iid Instr List Loc Program String Value

@@ -1,0 +1,1 @@
+lib/pmir/validate.mli: Format Program

@@ -1,0 +1,1 @@
+lib/pmir/value.mli: Format

@@ -1,0 +1,226 @@
+(** Imperative construction of PMIR programs from OCaml.
+
+    The subject applications (Redis_mini, P-CLHT, memcached_mini, the PMDK
+    unit-test corpus) are large enough that writing textual IR by hand would
+    be error-prone; this builder plays the role clang plays for the original
+    system — it is how "C source" becomes IR. Every emitted instruction is
+    automatically tagged with a source location ([<file>:<line>], one line
+    per emitted instruction unless overridden with [at]), which is what the
+    bug-finder traces report and what Hippocrates keys its fixes on. *)
+
+type t = {
+  mutable funcs : Func.t list;
+  mutable globals : (string * int) list;
+}
+
+let create () = { funcs = []; globals = [] }
+
+let global t name size = t.globals <- t.globals @ [ (name, size) ]
+
+let program t =
+  let p = Program.of_funcs (List.rev t.funcs) in
+  List.fold_left
+    (fun p (name, size) -> Program.add_global p ~name ~size)
+    p t.globals
+
+(** A function under construction. *)
+type fb = {
+  fname : string;
+  file : string;
+  mutable line : int;
+  mutable pending_loc : Loc.t option;
+  mutable blocks_rev : (string * Instr.t list ref) list;
+  mutable current : Instr.t list ref;
+  mutable fresh : int;
+}
+
+let func t ?file name params ~(body : fb -> unit) =
+  let file = Option.value file ~default:(name ^ ".c") in
+  let entry = ref [] in
+  let fb =
+    {
+      fname = name;
+      file;
+      line = 0;
+      pending_loc = None;
+      blocks_rev = [ ("entry", entry) ];
+      current = entry;
+      fresh = 0;
+    }
+  in
+  body fb;
+  (* Structured emitters ([if_], [while_]) append a jump to the join block
+     unconditionally; when a branch body ends in [ret] that jump is dead.
+     Truncate each block at its first terminator so the emitted function
+     validates. *)
+  let truncate instrs =
+    let rec go acc = function
+      | [] -> List.rev acc
+      | i :: rest ->
+          if Instr.is_terminator i then List.rev (i :: acc) else go (i :: acc) rest
+    in
+    go [] instrs
+  in
+  let blocks =
+    List.map
+      (fun (label, instrs) -> { Func.label; instrs = truncate (List.rev !(instrs)) })
+      fb.blocks_rev
+  in
+  t.funcs <- Func.make ~name ~params ~blocks :: t.funcs;
+  name
+
+(** [at fb line] pins the source line of the next emitted instruction
+    (useful to make distinct dynamic paths share a source location, or to
+    reproduce a specific upstream issue's line numbers). *)
+let at fb line = fb.pending_loc <- Some (Loc.make ~file:fb.file ~line)
+
+let next_loc fb =
+  match fb.pending_loc with
+  | Some l ->
+      fb.pending_loc <- None;
+      l
+  | None ->
+      fb.line <- fb.line + 1;
+      Loc.make ~file:fb.file ~line:fb.line
+
+let emit fb op =
+  let iid = Iid.fresh ~func:fb.fname in
+  let loc = next_loc fb in
+  fb.current := Instr.make ~iid ~loc op :: !(fb.current);
+  iid
+
+let fresh_reg fb =
+  fb.fresh <- fb.fresh + 1;
+  Printf.sprintf "t%d" fb.fresh
+
+(* Block management ------------------------------------------------------- *)
+
+let block fb label =
+  match List.assoc_opt label fb.blocks_rev with
+  | Some instrs -> fb.current <- instrs
+  | None ->
+      let instrs = ref [] in
+      fb.blocks_rev <- fb.blocks_rev @ [ (label, instrs) ];
+      fb.current <- instrs
+
+let fresh_label =
+  let n = ref 0 in
+  fun fb prefix ->
+    incr n;
+    Printf.sprintf "%s_%s%d" prefix fb.fname !n
+
+(* Instruction emission --------------------------------------------------- *)
+
+let store fb ?(nt = false) ?(size = 8) ~addr value =
+  ignore (emit fb (Instr.Store { addr; value; size; nontemporal = nt }))
+
+let load fb ?(size = 8) addr =
+  let dst = fresh_reg fb in
+  ignore (emit fb (Instr.Load { dst; addr; size }));
+  Value.reg dst
+
+let flush fb ?(kind = Instr.Clwb) addr =
+  ignore (emit fb (Instr.Flush { kind; addr }))
+
+let fence fb ?(kind = Instr.Sfence) () = ignore (emit fb (Instr.Fence { kind }))
+
+let binop fb op lhs rhs =
+  let dst = fresh_reg fb in
+  ignore (emit fb (Instr.Binop { dst; op; lhs; rhs }));
+  Value.reg dst
+
+let add fb a b = binop fb Instr.Add a b
+let sub fb a b = binop fb Instr.Sub a b
+let mul fb a b = binop fb Instr.Mul a b
+let div fb a b = binop fb Instr.Div a b
+let rem fb a b = binop fb Instr.Rem a b
+let band fb a b = binop fb Instr.And a b
+let bor fb a b = binop fb Instr.Or a b
+let bxor fb a b = binop fb Instr.Xor a b
+let shl fb a b = binop fb Instr.Shl a b
+let lshr fb a b = binop fb Instr.Lshr a b
+let eq fb a b = binop fb Instr.Eq a b
+let ne fb a b = binop fb Instr.Ne a b
+let lt fb a b = binop fb Instr.Lt a b
+let le fb a b = binop fb Instr.Le a b
+let gt fb a b = binop fb Instr.Gt a b
+let ge fb a b = binop fb Instr.Ge a b
+
+(** [set fb "x" v] assigns register [%x]. *)
+let set fb name v =
+  ignore (emit fb (Instr.Mov { dst = name; src = v }));
+  Value.reg name
+
+let gep fb base offset =
+  let dst = fresh_reg fb in
+  ignore (emit fb (Instr.Gep { dst; base; offset }));
+  Value.reg dst
+
+let alloca fb size =
+  let dst = fresh_reg fb in
+  ignore (emit fb (Instr.Alloca { dst; size }));
+  Value.reg dst
+
+let call fb callee args =
+  let dst = fresh_reg fb in
+  ignore (emit fb (Instr.Call { dst = Some dst; callee; args }));
+  Value.reg dst
+
+let call_void fb callee args =
+  ignore (emit fb (Instr.Call { dst = None; callee; args }))
+
+let br fb target = ignore (emit fb (Instr.Br { target }))
+
+let condbr fb cond if_true if_false =
+  ignore (emit fb (Instr.Condbr { cond; if_true; if_false }))
+
+let ret fb v = ignore (emit fb (Instr.Ret (Some v)))
+let ret_void fb = ignore (emit fb (Instr.Ret None))
+let crash fb = ignore (emit fb Instr.Crash)
+
+(* Structured control flow ------------------------------------------------ *)
+
+(** [if_ fb cond ~then_ ~else_] emits a diamond and leaves the builder
+    positioned at the join block. *)
+let if_ fb cond ~then_ ?else_ () =
+  let lt = fresh_label fb "then" in
+  let le = fresh_label fb "else" in
+  let lj = fresh_label fb "join" in
+  (match else_ with
+  | Some _ -> condbr fb cond lt le
+  | None -> condbr fb cond lt lj);
+  block fb lt;
+  then_ ();
+  br fb lj;
+  (match else_ with
+  | Some e ->
+      block fb le;
+      e ();
+      br fb lj
+  | None -> ());
+  block fb lj
+
+(** [while_ fb ~cond ~body] emits a loop; [cond] is re-emitted in the loop
+    header, so it must emit its own instructions and return the condition
+    value. *)
+let while_ fb ~cond ~body =
+  let lh = fresh_label fb "head" in
+  let lb = fresh_label fb "body" in
+  let lx = fresh_label fb "exit" in
+  br fb lh;
+  block fb lh;
+  let c = cond () in
+  condbr fb c lb lx;
+  block fb lb;
+  body ();
+  br fb lh;
+  block fb lx
+
+(** [for_ fb v ~from ~below ~body] — a counted loop over register [v]. *)
+let for_ fb v ~from ~below ~body =
+  let iv = set fb v from in
+  while_ fb
+    ~cond:(fun () -> lt fb iv below)
+    ~body:(fun () ->
+      body iv;
+      ignore (set fb v (add fb iv (Value.imm 1))))

@@ -1,0 +1,98 @@
+(** Imperative construction of PMIR programs from OCaml.
+
+    The subject applications are large enough that writing textual IR by
+    hand would be error-prone; this builder plays the role clang plays for
+    the original system — it is how "C source" becomes IR. Every emitted
+    instruction is automatically tagged with a source location
+    ([<file>:<line>], one line per emitted instruction unless overridden
+    with {!at}), which is what the bug-finder traces report and what
+    Hippocrates keys its fixes on.
+
+    Typical usage:
+    {[
+      let b = Builder.create () in
+      let _ = Builder.func b "main" [] ~body:(fun fb ->
+          let p = Builder.call fb "pm_alloc" [ Value.imm 64 ] in
+          Builder.store fb ~addr:p (Value.imm 1);
+          Builder.ret_void fb)
+      in
+      Builder.program b
+    ]} *)
+
+type t
+(** a program under construction *)
+
+type fb
+(** a function under construction *)
+
+val create : unit -> t
+val global : t -> string -> int -> unit
+
+(** Finalize the program. Blocks are truncated at their first terminator,
+    so structured emitters that append dead jumps stay valid. *)
+val program : t -> Program.t
+
+(** [func b name params ~body] defines a function; [body] receives the
+    function builder positioned in the entry block. [?file] overrides the
+    synthesized debug file name ([name ^ ".c"]). Returns [name]. *)
+val func : t -> ?file:string -> string -> string list -> body:(fb -> unit) -> string
+
+(** [at fb line] pins the source line of the next emitted instruction. *)
+val at : fb -> int -> unit
+
+(** [block fb label] switches emission to the (possibly new) block. *)
+val block : fb -> string -> unit
+
+val fresh_label : fb -> string -> string
+
+(* Instruction emission. Emitters returning [Value.t] produce the fresh
+   register holding the result. *)
+
+val store : fb -> ?nt:bool -> ?size:int -> addr:Value.t -> Value.t -> unit
+val load : fb -> ?size:int -> Value.t -> Value.t
+val flush : fb -> ?kind:Instr.flush_kind -> Value.t -> unit
+val fence : fb -> ?kind:Instr.fence_kind -> unit -> unit
+val binop : fb -> Instr.binop -> Value.t -> Value.t -> Value.t
+val add : fb -> Value.t -> Value.t -> Value.t
+val sub : fb -> Value.t -> Value.t -> Value.t
+val mul : fb -> Value.t -> Value.t -> Value.t
+val div : fb -> Value.t -> Value.t -> Value.t
+val rem : fb -> Value.t -> Value.t -> Value.t
+val band : fb -> Value.t -> Value.t -> Value.t
+val bor : fb -> Value.t -> Value.t -> Value.t
+val bxor : fb -> Value.t -> Value.t -> Value.t
+val shl : fb -> Value.t -> Value.t -> Value.t
+val lshr : fb -> Value.t -> Value.t -> Value.t
+val eq : fb -> Value.t -> Value.t -> Value.t
+val ne : fb -> Value.t -> Value.t -> Value.t
+val lt : fb -> Value.t -> Value.t -> Value.t
+val le : fb -> Value.t -> Value.t -> Value.t
+val gt : fb -> Value.t -> Value.t -> Value.t
+val ge : fb -> Value.t -> Value.t -> Value.t
+
+(** [set fb "x" v] assigns register [%x] and returns it as a value. *)
+val set : fb -> string -> Value.t -> Value.t
+
+val gep : fb -> Value.t -> Value.t -> Value.t
+val alloca : fb -> int -> Value.t
+val call : fb -> string -> Value.t list -> Value.t
+val call_void : fb -> string -> Value.t list -> unit
+val br : fb -> string -> unit
+val condbr : fb -> Value.t -> string -> string -> unit
+val ret : fb -> Value.t -> unit
+val ret_void : fb -> unit
+val crash : fb -> unit
+
+(* Structured control flow. *)
+
+(** [if_ fb cond ~then_ ?else_ ()] emits a diamond and leaves the builder
+    positioned at the join block. *)
+val if_ : fb -> Value.t -> then_:(unit -> unit) -> ?else_:(unit -> unit) -> unit -> unit
+
+(** [while_ fb ~cond ~body] — [cond] is re-emitted in the loop header, so
+    it must emit its own instructions and return the condition value. *)
+val while_ : fb -> cond:(unit -> Value.t) -> body:(unit -> unit) -> unit
+
+(** [for_ fb v ~from ~below ~body] — a counted loop over register [v];
+    [body] receives the induction value. *)
+val for_ : fb -> string -> from:Value.t -> below:Value.t -> body:(Value.t -> unit) -> unit

@@ -1,0 +1,40 @@
+(** Function duplication with identity tracking.
+
+    The persistent-subprogram transformation (§4.2.4 of the paper) clones a
+    function and all PM-modifying callees. The clone's instructions receive
+    fresh identities, and the returned mapping lets the caller translate
+    facts keyed on original identities (e.g. "this store touches PM, flush
+    it in the clone") onto the clone. *)
+
+type mapping = Iid.t Iid.Tbl.t
+(** original instruction identity -> clone instruction identity *)
+
+(** [func ~new_name f] duplicates [f] under [new_name]; returns the clone
+    and the identity mapping. *)
+let func ~new_name (f : Func.t) : Func.t * mapping =
+  let mapping = Iid.Tbl.create 64 in
+  let clone_instr (i : Instr.t) =
+    let iid = Iid.fresh ~func:new_name in
+    Iid.Tbl.replace mapping (Instr.iid i) iid;
+    Instr.make ~iid ~loc:(Instr.loc i) (Instr.op i)
+  in
+  let blocks =
+    List.map
+      (fun (b : Func.block) ->
+        { Func.label = b.label; instrs = List.map clone_instr b.instrs })
+      (Func.blocks f)
+  in
+  (Func.make ~name:new_name ~params:(Func.params f) ~blocks, mapping)
+
+(** [retarget_calls f ~rename] rewrites every call site whose callee is
+    remapped by [rename]. *)
+let retarget_calls (f : Func.t) ~(rename : string -> string option) : Func.t =
+  Func.map_instrs
+    (fun i ->
+      match Instr.op i with
+      | Instr.Call { dst; callee; args } -> (
+          match rename callee with
+          | Some callee' -> [ Instr.with_op i (Instr.Call { dst; callee = callee'; args }) ]
+          | None -> [ i ])
+      | _ -> [ i ])
+    f

@@ -1,0 +1,16 @@
+(** Function duplication with identity tracking.
+
+    The persistent-subprogram transformation (paper §4.2.4) clones a
+    function and all PM-modifying callees. The clone's instructions
+    receive fresh identities, and the returned mapping lets the caller
+    translate facts keyed on original identities onto the clone. *)
+
+type mapping = Iid.t Iid.Tbl.t
+(** original instruction identity -> clone instruction identity *)
+
+(** [func ~new_name f] duplicates [f] under [new_name]. *)
+val func : new_name:string -> Func.t -> Func.t * mapping
+
+(** [retarget_calls f ~rename] rewrites every call site whose callee is
+    remapped by [rename]. *)
+val retarget_calls : Func.t -> rename:(string -> string option) -> Func.t

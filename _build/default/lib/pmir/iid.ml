@@ -1,0 +1,65 @@
+(** Stable instruction identities.
+
+    Fixes computed by Hippocrates are keyed on the identity of the buggy
+    store / flush / crash-point instruction. Identities must survive program
+    transformation: inserting a flush after a store must not invalidate the
+    key of any other pending fix. We therefore identify instructions by a
+    [(function, serial)] pair where the serial is allocated once, at
+    instruction creation, and never reassigned — never by position.
+
+    Serials are drawn from a process-global counter; uniqueness within any
+    single program is all that the algorithms rely on. *)
+
+type t = { func : string; serial : int }
+
+let counter = ref 0
+
+let fresh ~func =
+  incr counter;
+  { func; serial = !counter }
+
+(** [of_serial ~func n] reconstitutes an identity recorded in a trace file.
+    Does not touch the fresh-serial counter: trace identities must match the
+    program's identities exactly. *)
+let of_serial ~func serial = { func; serial }
+
+(** [in_func t name] rebinds the identity to another function, keeping the
+    serial. Used when cloning a function during the persistent-subprogram
+    transformation: the clone's instructions get fresh serials, but the
+    mapping from original to clone is tracked separately. *)
+let in_func t func = { t with func }
+
+let func t = t.func
+let serial t = t.serial
+
+let equal a b = a.serial = b.serial && String.equal a.func b.func
+
+let compare a b =
+  match Int.compare a.serial b.serial with
+  | 0 -> String.compare a.func b.func
+  | c -> c
+
+let hash t = Hashtbl.hash (t.func, t.serial)
+
+let pp ppf t = Fmt.pf ppf "%s#%d" t.func t.serial
+
+let to_string t = Fmt.str "%a" pp t
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,39 @@
+(** Stable instruction identities.
+
+    Fixes computed by Hippocrates are keyed on the identity of the buggy
+    store / flush / crash-point instruction. Identities must survive
+    program transformation: inserting a flush after a store must not
+    invalidate the key of any other pending fix. Instructions are
+    therefore identified by a [(function, serial)] pair whose serial is
+    allocated once, at instruction creation, and never reassigned — never
+    by position. *)
+
+type t
+
+(** [fresh ~func] allocates a new identity in function [func]. Serials
+    come from a process-global counter; uniqueness within a program is all
+    the algorithms rely on. *)
+val fresh : func:string -> t
+
+(** [of_serial ~func n] reconstitutes an identity recorded in a trace
+    file. Does not touch the fresh-serial counter. *)
+val of_serial : func:string -> int -> t
+
+(** [in_func t name] rebinds the identity to another function, keeping the
+    serial (used when tracking clone provenance). *)
+val in_func : t -> string -> t
+
+val func : t -> string
+val serial : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+(** Renders as ["func#serial"]. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,29 @@
+(** Source locations attached to PMIR instructions.
+
+    PMIR plays the role of LLVM bitcode in the original Hippocrates: every
+    instruction carries debug information mapping it back to a (file, line)
+    pair so that bug-finder trace events can be correlated with program
+    points, exactly as the LLVM pass correlates pmemcheck output with
+    bitcode through DWARF metadata. *)
+
+type t = { file : string; line : int }
+
+let make ~file ~line = { file; line }
+
+let none = { file = "<none>"; line = 0 }
+
+let is_none t = t.file = "<none>" && t.line = 0
+
+let file t = t.file
+let line t = t.line
+
+let equal a b = a.line = b.line && String.equal a.file b.file
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> Int.compare a.line b.line
+  | c -> c
+
+let pp ppf t = Fmt.pf ppf "%s:%d" t.file t.line
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,28 @@
+(** Source locations attached to PMIR instructions.
+
+    PMIR plays the role of LLVM bitcode in the original Hippocrates: every
+    instruction carries debug information mapping it back to a
+    [(file, line)] pair, so that bug-finder trace events can be correlated
+    with program points — exactly as the LLVM pass correlates pmemcheck
+    output with bitcode through DWARF metadata. *)
+
+type t
+
+(** [make ~file ~line] builds a location. *)
+val make : file:string -> line:int -> t
+
+(** The absent location (pretty-printed as [<none>:0]). *)
+val none : t
+
+val is_none : t -> bool
+val file : t -> string
+val line : t -> int
+val equal : t -> t -> bool
+
+(** Total order: by file name, then line. *)
+val compare : t -> t -> int
+
+(** Renders as ["file:line"]. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

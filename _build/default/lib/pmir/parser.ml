@@ -1,0 +1,347 @@
+(** Parser for the textual PMIR format produced by {!Printer}.
+
+    Hand-rolled recursive-descent over a token list; programs are small
+    enough (hundreds of KLOC at most) that parsing speed is irrelevant next
+    to interpretation. Instructions are assigned fresh identities; explicit
+    [@ "file":line] annotations are honoured, otherwise each instruction
+    gets its physical line number in the parsed text. *)
+
+exception Parse_error of { line : int; msg : string }
+
+let fail line fmt = Fmt.kstr (fun msg -> raise (Parse_error { line; msg })) fmt
+
+type token =
+  | Tfunc
+  | Tglobal
+  | Tat_name of string  (** [@name] *)
+  | Treg of string  (** [%name] *)
+  | Tint of int
+  | Tident of string
+  | Tstring of string
+  | Tlparen
+  | Trparen
+  | Tlbrace
+  | Trbrace
+  | Tcomma
+  | Tcolon
+  | Tarrow
+  | Tatloc  (** [@] introducing a location annotation *)
+  | Teq
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.'
+
+let tokenize_line lineno (s : string) : (token * int) list =
+  let n = String.length s in
+  let toks = ref [] in
+  let push t = toks := (t, lineno) :: !toks in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ';' then i := n (* comment to end of line *)
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '(' then (push Tlparen; incr i)
+    else if c = ')' then (push Trparen; incr i)
+    else if c = '{' then (push Tlbrace; incr i)
+    else if c = '}' then (push Trbrace; incr i)
+    else if c = ',' then (push Tcomma; incr i)
+    else if c = ':' then (push Tcolon; incr i)
+    else if c = '=' then (push Teq; incr i)
+    else if c = '-' && !i + 1 < n && s.[!i + 1] = '>' then (
+      push Tarrow;
+      i := !i + 2)
+    else if c = '"' then (
+      let j = ref (!i + 1) in
+      while !j < n && s.[!j] <> '"' do incr j done;
+      if !j >= n then fail lineno "unterminated string literal";
+      push (Tstring (String.sub s (!i + 1) (!j - !i - 1)));
+      i := !j + 1)
+    else if c = '@' then (
+      let j = ref (!i + 1) in
+      while !j < n && is_ident_char s.[!j] do incr j done;
+      if !j = !i + 1 then (push Tatloc; incr i)
+      else (
+        push (Tat_name (String.sub s (!i + 1) (!j - !i - 1)));
+        i := !j))
+    else if c = '%' then (
+      let j = ref (!i + 1) in
+      while !j < n && is_ident_char s.[!j] do incr j done;
+      if !j = !i + 1 then fail lineno "bare '%%'";
+      push (Treg (String.sub s (!i + 1) (!j - !i - 1)));
+      i := !j)
+    else if c = '-' || (c >= '0' && c <= '9') then (
+      let j = ref (!i + 1) in
+      while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do incr j done;
+      let lit = String.sub s !i (!j - !i) in
+      (match int_of_string_opt lit with
+      | Some v -> push (Tint v)
+      | None -> fail lineno "bad integer literal %S" lit);
+      i := !j)
+    else if is_ident_char c then (
+      let j = ref !i in
+      while !j < n && is_ident_char s.[!j] do incr j done;
+      let id = String.sub s !i (!j - !i) in
+      (match id with
+      | "func" -> push Tfunc
+      | "global" -> push Tglobal
+      | _ -> push (Tident id));
+      i := !j)
+    else fail lineno "unexpected character %C" c
+  done;
+  List.rev !toks
+
+(* A mutable token cursor. *)
+type cursor = { mutable toks : (token * int) list }
+
+let peek c = match c.toks with [] -> None | (t, _) :: _ -> Some t
+let cur_line c = match c.toks with [] -> -1 | (_, l) :: _ -> l
+
+let next c =
+  match c.toks with
+  | [] -> fail (-1) "unexpected end of input"
+  | (t, l) :: rest ->
+      c.toks <- rest;
+      (t, l)
+
+let expect c tok what =
+  let t, l = next c in
+  if t <> tok then fail l "expected %s" what
+
+let expect_ident c =
+  match next c with
+  | Tident s, _ -> s
+  | _, l -> fail l "expected an identifier"
+
+let expect_int c =
+  match next c with
+  | Tint n, _ -> n
+  | _, l -> fail l "expected an integer"
+
+let parse_value c : Value.t =
+  match next c with
+  | Treg r, _ -> Value.reg r
+  | Tint n, _ -> Value.imm n
+  | Tat_name g, _ -> Value.global g
+  | Tident "null", _ -> Value.null
+  | _, l -> fail l "expected a value (register, integer, global, or null)"
+
+(* "store.i64" / "store.i8.nt" / "load.i32" / "flush.clwb" / "fence.sfence" *)
+let split_dotted s = String.split_on_char '.' s
+
+let size_of_suffix l = function
+  | "i8" -> 1
+  | "i16" -> 2
+  | "i32" -> 4
+  | "i64" -> 8
+  | s -> fail l "bad width suffix %S" s
+
+(* Optional trailing location annotation: @ "file":line *)
+let parse_loc_annot c ~default =
+  match peek c with
+  | Some Tatloc ->
+      ignore (next c);
+      let file =
+        match next c with
+        | Tstring s, _ -> s
+        | _, l -> fail l "expected a file string after '@'"
+      in
+      expect c Tcolon "':'";
+      let line = expect_int c in
+      Loc.make ~file ~line
+  | _ -> default
+
+let parse_call_args c =
+  expect c Tlparen "'('";
+  let rec args acc =
+    match peek c with
+    | Some Trparen ->
+        ignore (next c);
+        List.rev acc
+    | _ -> (
+        let v = parse_value c in
+        match next c with
+        | Tcomma, _ -> args (v :: acc)
+        | Trparen, _ -> List.rev (v :: acc)
+        | _, l -> fail l "expected ',' or ')' in call arguments")
+  in
+  args []
+
+(* Instructions that produce a value: "%x = <rhs>". *)
+let parse_rhs c dst : Instr.op =
+  match next c with
+  | Tident kw, l -> (
+      match split_dotted kw with
+      | [ "load"; w ] ->
+          let addr = parse_value c in
+          Instr.Load { dst; addr; size = size_of_suffix l w }
+      | [ "mov" ] -> Instr.Mov { dst; src = parse_value c }
+      | [ "gep" ] ->
+          let base = parse_value c in
+          expect c Tcomma "','";
+          let offset = parse_value c in
+          Instr.Gep { dst; base; offset }
+      | [ "alloca" ] -> Instr.Alloca { dst; size = expect_int c }
+      | [ op ] -> (
+          match Instr.binop_of_string op with
+          | Some bop ->
+              let lhs = parse_value c in
+              expect c Tcomma "','";
+              let rhs = parse_value c in
+              Instr.Binop { dst; op = bop; lhs; rhs }
+          | None -> fail l "unknown instruction %S" kw)
+      | _ -> fail l "unknown instruction %S" kw)
+  | _, l -> fail l "expected an instruction after '='"
+
+let parse_instr c ~func ~lineno : Instr.t =
+  let default_loc = Loc.make ~file:(func ^ ".pmir") ~line:lineno in
+  let finish op =
+    let loc = parse_loc_annot c ~default:default_loc in
+    Instr.make ~iid:(Iid.fresh ~func) ~loc op
+  in
+  match next c with
+  | Treg dst, _ -> (
+      expect c Teq "'='";
+      match peek c with
+      | Some (Tident "call") ->
+          ignore (next c);
+          let callee =
+            match next c with
+            | Tat_name f, _ -> f
+            | _, l -> fail l "expected '@function' after call"
+          in
+          let args = parse_call_args c in
+          finish (Instr.Call { dst = Some dst; callee; args })
+      | _ -> finish (parse_rhs c dst))
+  | Tident kw, l -> (
+      match split_dotted kw with
+      | "store" :: w :: rest ->
+          let nontemporal =
+            match rest with
+            | [] -> false
+            | [ "nt" ] -> true
+            | _ -> fail l "bad store suffix"
+          in
+          let value = parse_value c in
+          expect c Tarrow "'->'";
+          let addr = parse_value c in
+          finish (Instr.Store { addr; value; size = size_of_suffix l w; nontemporal })
+      | [ "flush"; k ] -> (
+          (* ARM spellings are accepted as aliases with the same
+             semantics (paper §2.1): dc_cvap behaves like clwb. *)
+          let k = if k = "dc_cvap" then "clwb" else k in
+          match Instr.flush_kind_of_string k with
+          | Some kind -> finish (Instr.Flush { kind; addr = parse_value c })
+          | None -> fail l "unknown flush kind %S" k)
+      | [ "fence"; k ] -> (
+          (* ARM: dsb orders like sfence for persistence purposes. *)
+          let k = if k = "dsb" then "sfence" else k in
+          match Instr.fence_kind_of_string k with
+          | Some kind -> finish (Instr.Fence { kind })
+          | None -> fail l "unknown fence kind %S" k)
+      | [ "call" ] ->
+          let callee =
+            match next c with
+            | Tat_name f, _ -> f
+            | _, l -> fail l "expected '@function' after call"
+          in
+          let args = parse_call_args c in
+          finish (Instr.Call { dst = None; callee; args })
+      | [ "br" ] -> finish (Instr.Br { target = expect_ident c })
+      | [ "condbr" ] ->
+          let cond = parse_value c in
+          expect c Tcomma "','";
+          let if_true = expect_ident c in
+          expect c Tcomma "','";
+          let if_false = expect_ident c in
+          finish (Instr.Condbr { cond; if_true; if_false })
+      | [ "ret" ] -> (
+          match peek c with
+          | None | Some (Tident _) | Some Trbrace | Some Tatloc ->
+              finish (Instr.Ret None)
+          | Some _ -> finish (Instr.Ret (Some (parse_value c))))
+      | [ "crash" ] -> finish Instr.Crash
+      | _ -> fail l "unknown instruction %S" kw)
+  | _, l -> fail l "expected an instruction"
+
+(** Parse a whole program from a string. *)
+let program (src : string) : Program.t =
+  let lines = String.split_on_char '\n' src in
+  let toks =
+    List.concat (List.mapi (fun i line -> tokenize_line (i + 1) line) lines)
+  in
+  let c = { toks } in
+  let prog = ref Program.empty in
+  let rec top () =
+    match peek c with
+    | None -> ()
+    | Some Tglobal ->
+        ignore (next c);
+        let name =
+          match next c with
+          | Tat_name n, _ -> n
+          | _, l -> fail l "expected '@name' after global"
+        in
+        let size = expect_int c in
+        prog := Program.add_global !prog ~name ~size;
+        top ()
+    | Some Tfunc ->
+        ignore (next c);
+        parse_func ();
+        top ()
+    | Some _ -> fail (cur_line c) "expected 'func' or 'global'"
+  and parse_func () =
+    let name =
+      match next c with
+      | Tat_name n, _ -> n
+      | _, l -> fail l "expected '@name' after func"
+    in
+    expect c Tlparen "'('";
+    let rec params acc =
+      match next c with
+      | Trparen, _ -> List.rev acc
+      | Treg r, _ -> (
+          match next c with
+          | Tcomma, _ -> params (r :: acc)
+          | Trparen, _ -> List.rev (r :: acc)
+          | _, l -> fail l "expected ',' or ')' in parameter list")
+      | _, l -> fail l "expected a parameter"
+    in
+    let params = params [] in
+    expect c Tlbrace "'{'";
+    (* blocks: "label:" then instructions until next label / '}' *)
+    let blocks = ref [] in
+    let rec block_loop () =
+      match next c with
+      | Trbrace, _ -> ()
+      | Tident label, _ ->
+          expect c Tcolon "':' after block label";
+          let instrs = ref [] in
+          let rec instr_loop () =
+            match c.toks with
+            | (Trbrace, _) :: _ -> ()
+            | (Tident lbl, _) :: (Tcolon, _) :: _ when lbl <> "ret" ->
+                ignore lbl (* next block label *)
+            | [] -> fail (-1) "unterminated function body"
+            | (_, lineno) :: _ ->
+                instrs := parse_instr c ~func:name ~lineno :: !instrs;
+                instr_loop ()
+          in
+          instr_loop ();
+          blocks := { Func.label; instrs = List.rev !instrs } :: !blocks;
+          block_loop ()
+      | _, l -> fail l "expected a block label or '}'"
+    in
+    block_loop ();
+    prog := Program.add_func !prog (Func.make ~name ~params ~blocks:(List.rev !blocks))
+  in
+  top ();
+  !prog
+
+let program_of_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> program (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,13 @@
+(** Parser for the textual PMIR format produced by {!Printer}.
+
+    Instructions are assigned fresh identities; explicit
+    [@ "file":line] annotations are honoured, otherwise each instruction
+    gets its physical line number in the parsed text. *)
+
+exception Parse_error of { line : int; msg : string }
+
+(** Parse a whole program from a string. Raises {!Parse_error}. *)
+val program : string -> Program.t
+
+(** Parse a program from a file. Raises {!Parse_error} or [Sys_error]. *)
+val program_of_file : string -> Program.t

@@ -1,0 +1,29 @@
+(** Textual serialization of PMIR programs.
+
+    The format round-trips through {!Parser} (modulo instruction
+    identities, which are allocated fresh on parse). It is the on-disk form
+    of subject programs and the diff format in which Hippocrates reports
+    its fixes. *)
+
+let pp_block ppf (b : Func.block) =
+  Fmt.pf ppf "%s:@," b.label;
+  List.iter (fun i -> Fmt.pf ppf "  %a@," Instr.pp i) b.instrs
+
+let pp_func ppf (f : Func.t) =
+  Fmt.pf ppf "@[<v>func @@%s(%a) {@,"
+    (Func.name f)
+    Fmt.(list ~sep:(any ", ") (fmt "%%%s"))
+    (Func.params f);
+  List.iter (pp_block ppf) (Func.blocks f);
+  Fmt.pf ppf "}@]"
+
+let pp_program ppf (p : Program.t) =
+  Fmt.pf ppf "@[<v>";
+  List.iter
+    (fun (name, size) -> Fmt.pf ppf "global @@%s %d@," name size)
+    (Program.globals p);
+  Fmt.(list ~sep:(any "@,@,") pp_func) ppf (Program.funcs p);
+  Fmt.pf ppf "@]@."
+
+let func_to_string f = Fmt.str "%a" pp_func f
+let to_string p = Fmt.str "%a" pp_program p

@@ -1,0 +1,12 @@
+(** Textual serialization of PMIR programs.
+
+    The format round-trips through {!Parser} (modulo instruction
+    identities, which are allocated fresh on parse). It is the on-disk
+    form of subject programs and the diff format in which Hippocrates
+    reports its fixes. *)
+
+val pp_block : Format.formatter -> Func.block -> unit
+val pp_func : Format.formatter -> Func.t -> unit
+val pp_program : Format.formatter -> Program.t -> unit
+val func_to_string : Func.t -> string
+val to_string : Program.t -> string

@@ -1,0 +1,126 @@
+(** Structural well-formedness checks for PMIR programs.
+
+    Run before interpretation and after every Hippocrates transformation:
+    a repaired program that fails validation would indicate the repair
+    engine itself violated "do no harm" at the structural level. *)
+
+type error = { where : string; what : string }
+
+let err where fmt = Fmt.kstr (fun what -> { where; what }) fmt
+
+let pp_error ppf e = Fmt.pf ppf "%s: %s" e.where e.what
+
+let valid_sizes = [ 1; 2; 4; 8 ]
+
+let check_func (prog : Program.t) (f : Func.t) : error list =
+  let errors = ref [] in
+  let add e = errors := e :: !errors in
+  let fname = Func.name f in
+  let blocks = Func.blocks f in
+  (if blocks = [] then add (err fname "function has no blocks"));
+  let labels = List.map (fun (b : Func.block) -> b.label) blocks in
+  let dup =
+    List.filter
+      (fun l -> List.length (List.filter (String.equal l) labels) > 1)
+      labels
+  in
+  (match dup with
+  | [] -> ()
+  | l :: _ -> add (err fname "duplicate block label %S" l));
+  let has_label l = List.mem l labels in
+  let defined = Func.defined_regs f in
+  let known r = List.mem r defined in
+  let check_value where (v : Value.t) =
+    match v with
+    | Value.Reg r when not (known r) ->
+        add (err where "use of undefined register %%%s" r)
+    | _ -> ()
+  in
+  let check_instr ~is_last (i : Instr.t) =
+    let where = Fmt.str "%s at %a" fname Loc.pp (Instr.loc i) in
+    List.iter (fun r -> if not (known r) then
+        add (err where "use of undefined register %%%s" r))
+      (Instr.uses i);
+    List.iter
+      (function
+        | Value.Global g when not (List.mem_assoc g (Program.globals prog)) ->
+            add (err where "reference to undefined global @%s" g)
+        | _ -> ())
+      (Instr.operands i);
+    (match Instr.op i with
+    | Store { size; _ } | Load { size; _ } ->
+        if not (List.mem size valid_sizes) then
+          add (err where "invalid access size %d" size)
+    | Alloca { size; _ } ->
+        if size <= 0 then add (err where "non-positive alloca size %d" size)
+    | Call { callee; args; _ } ->
+        if (not (Program.mem prog callee)) && not (Program.is_intrinsic callee)
+        then add (err where "call to undefined function @%s" callee)
+        else if Program.mem prog callee then (
+          let arity = List.length (Func.params (Program.find_exn prog callee)) in
+          if List.length args <> arity then
+            add
+              (err where "call to @%s with %d arguments (expects %d)" callee
+                 (List.length args) arity))
+    | Br { target } ->
+        if not (has_label target) then
+          add (err where "branch to undefined label %S" target)
+    | Condbr { if_true; if_false; _ } ->
+        List.iter
+          (fun l ->
+            if not (has_label l) then
+              add (err where "branch to undefined label %S" l))
+          [ if_true; if_false ]
+    | _ -> ());
+    if Instr.is_terminator i && not is_last then
+      add (err where "terminator is not the last instruction of its block")
+  in
+  List.iter
+    (fun (b : Func.block) ->
+      (match List.rev b.instrs with
+      | [] -> add (err fname "block %S is empty (needs a terminator)" b.label)
+      | last :: _ ->
+          if not (Instr.is_terminator last) then
+            add (err fname "block %S does not end in a terminator" b.label));
+      let n = List.length b.instrs in
+      List.iteri (fun k i -> check_instr ~is_last:(k = n - 1) i) b.instrs)
+    blocks;
+  ignore check_value;
+  List.rev !errors
+
+(** [check prog] returns all well-formedness errors, empty when valid. *)
+let check (prog : Program.t) : error list =
+  let dups =
+    let names = Program.func_names prog in
+    List.filter
+      (fun n -> List.length (List.filter (String.equal n) names) > 1)
+      names
+  in
+  let dup_errors =
+    List.map (fun n -> err "program" "duplicate function @%s" n) dups
+  in
+  (* Duplicate instruction identities would silently corrupt fix keying. *)
+  let seen = Iid.Tbl.create 1024 in
+  let iid_errors = ref [] in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun i ->
+          let id = Instr.iid i in
+          if Iid.Tbl.mem seen id then
+            iid_errors :=
+              err (Func.name f) "duplicate instruction identity %a" Iid.pp id
+              :: !iid_errors
+          else Iid.Tbl.add seen id ())
+        (Func.instrs f))
+    (Program.funcs prog);
+  dup_errors @ List.rev !iid_errors
+  @ List.concat_map (check_func prog) (Program.funcs prog)
+
+let is_valid prog = check prog = []
+
+exception Invalid of error list
+
+(** [check_exn prog] raises {!Invalid} if the program is malformed. *)
+let check_exn prog =
+  match check prog with [] -> () | errors -> raise (Invalid errors)

@@ -1,0 +1,25 @@
+(** Structural well-formedness checks for PMIR programs.
+
+    Run before interpretation and after every Hippocrates transformation:
+    a repaired program that fails validation would indicate the repair
+    engine itself violated "do no harm" at the structural level.
+
+    Checked: nonempty functions; unique block labels; every block ends in
+    exactly one terminator (and none mid-block); uses of defined registers
+    and declared globals only; valid access sizes; calls target defined
+    functions or intrinsics with matching arity; and — crucial for fix
+    keying — no duplicate instruction identities program-wide. *)
+
+type error = { where : string; what : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [check prog] returns all well-formedness errors, empty when valid. *)
+val check : Program.t -> error list
+
+val is_valid : Program.t -> bool
+
+exception Invalid of error list
+
+(** [check_exn prog] raises {!Invalid} if the program is malformed. *)
+val check_exn : Program.t -> unit

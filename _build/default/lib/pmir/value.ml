@@ -1,0 +1,45 @@
+(** Operand values.
+
+    PMIR is a register machine with mutable, function-local registers (this
+    sidesteps SSA phi nodes while keeping the store/flush/fence structure
+    that Hippocrates reasons about identical to LLVM's). An operand is a
+    register read, an integer immediate, or the null pointer. *)
+
+type t =
+  | Reg of string  (** function-local register, e.g. [%addr] *)
+  | Imm of int  (** integer immediate; addresses are plain integers *)
+  | Global of string  (** address of a program global, e.g. [@tbl] *)
+  | Null  (** the null pointer (reads as 0) *)
+
+let reg name = Reg name
+let imm n = Imm n
+let global name = Global name
+let null = Null
+
+let equal a b =
+  match (a, b) with
+  | Reg x, Reg y -> String.equal x y
+  | Imm x, Imm y -> Int.equal x y
+  | Global x, Global y -> String.equal x y
+  | Null, Null -> true
+  | (Reg _ | Imm _ | Global _ | Null), _ -> false
+
+let compare a b =
+  let rank = function Reg _ -> 0 | Imm _ -> 1 | Global _ -> 2 | Null -> 3 in
+  match (a, b) with
+  | Reg x, Reg y -> String.compare x y
+  | Imm x, Imm y -> Int.compare x y
+  | Global x, Global y -> String.compare x y
+  | Null, Null -> 0
+  | _ -> Int.compare (rank a) (rank b)
+
+(** Registers read by the operand (none for immediates and globals). *)
+let uses = function Reg r -> [ r ] | Imm _ | Global _ | Null -> []
+
+let pp ppf = function
+  | Reg r -> Fmt.pf ppf "%%%s" r
+  | Imm n -> Fmt.int ppf n
+  | Global g -> Fmt.pf ppf "@@%s" g
+  | Null -> Fmt.string ppf "null"
+
+let to_string t = Fmt.str "%a" pp t

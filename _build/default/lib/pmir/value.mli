@@ -1,0 +1,24 @@
+(** Operand values.
+
+    PMIR is a register machine with mutable, function-local registers
+    (sidestepping SSA phi nodes while keeping the store/flush/fence
+    structure Hippocrates reasons about identical to LLVM's). *)
+
+type t =
+  | Reg of string  (** function-local register, e.g. [%addr] *)
+  | Imm of int  (** integer immediate; addresses are plain integers *)
+  | Global of string  (** address of a program global, e.g. [@tbl] *)
+  | Null  (** the null pointer (reads as 0) *)
+
+val reg : string -> t
+val imm : int -> t
+val global : string -> t
+val null : t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** Registers read by the operand (none for immediates and globals). *)
+val uses : t -> string list
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/ycsb/workload.ml: Char Fmt List Rng String Zipfian

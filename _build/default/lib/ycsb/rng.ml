@@ -1,0 +1,22 @@
+(** Deterministic splitmix64-style PRNG.
+
+    The benchmark harness must be reproducible run-to-run (trials differ
+    only by seed), so no dependence on [Random]'s global state. *)
+
+type t = { mutable state : int }
+
+let create ~seed = { state = (seed * 0x9E3779B9) lor 1 }
+
+let next t =
+  (* splitmix64 finalizer with 63-bit constants (OCaml ints are 63-bit) *)
+  t.state <- (t.state + 0x1E3779B97F4A7C15) land max_int;
+  let z = t.state in
+  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 land max_int in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB land max_int in
+  z lxor (z lsr 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  next t mod bound
+
+let float t = float_of_int (next t land 0xFFFFFFFFFFFF) /. 281474976710656.0

@@ -1,0 +1,17 @@
+(** Deterministic splitmix-style PRNG.
+
+    The benchmark harness must be reproducible run-to-run (trials differ
+    only by seed), so no dependence on [Random]'s global state. *)
+
+type t
+
+val create : seed:int -> t
+
+(** Next nonnegative pseudo-random int. *)
+val next : t -> int
+
+(** [int t bound] in [0, bound); raises on nonpositive bounds. *)
+val int : t -> int -> int
+
+(** Uniform float in [0, 1). *)
+val float : t -> float

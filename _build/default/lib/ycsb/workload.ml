@@ -1,0 +1,86 @@
+(** The YCSB core workloads (Cooper et al., SoCC'10), as used by the
+    paper's Redis experiment (§6.3): Load plus A-F.
+
+    | Workload | Mix                                 | Distribution |
+    |----------|-------------------------------------|--------------|
+    | Load     | 100% insert                         | sequential   |
+    | A        | 50% read, 50% update                | zipfian      |
+    | B        | 95% read, 5% update                 | zipfian      |
+    | C        | 100% read                           | zipfian      |
+    | D        | 95% read, 5% insert                 | latest       |
+    | E        | 95% scan, 5% insert                 | zipfian      |
+    | F        | 50% read, 50% read-modify-write     | zipfian      | *)
+
+type op =
+  | Read of int
+  | Update of int
+  | Insert of int
+  | Scan of int * int  (** start key, length *)
+  | Read_modify_write of int
+
+type kind = Load | A | B | C | D | E | F
+
+let kind_to_string = function
+  | Load -> "Load"
+  | A -> "A"
+  | B -> "B"
+  | C -> "C"
+  | D -> "D"
+  | E -> "E"
+  | F -> "F"
+
+let all_kinds = [ Load; A; B; C; D; E; F ]
+
+type spec = {
+  kind : kind;
+  record_count : int;  (** records loaded before the run *)
+  op_count : int;
+  max_scan_len : int;
+}
+
+let default_spec kind =
+  { kind; record_count = 10_000; op_count = 10_000; max_scan_len = 10 }
+
+(** Generate the operation sequence for a trial. Inserts use keys beyond
+    the loaded range, as YCSB does. *)
+let ops (spec : spec) ~seed : op list =
+  let rng = Rng.create ~seed in
+  let zipf = Zipfian.create spec.record_count in
+  let inserted = ref spec.record_count in
+  let pick () = Zipfian.next zipf rng in
+  let insert () =
+    let k = !inserted in
+    incr inserted;
+    Insert k
+  in
+  match spec.kind with
+  | Load -> List.init spec.record_count (fun k -> Insert k)
+  | A ->
+      List.init spec.op_count (fun _ ->
+          if Rng.int rng 100 < 50 then Read (pick ()) else Update (pick ()))
+  | B ->
+      List.init spec.op_count (fun _ ->
+          if Rng.int rng 100 < 95 then Read (pick ()) else Update (pick ()))
+  | C -> List.init spec.op_count (fun _ -> Read (pick ()))
+  | D ->
+      List.init spec.op_count (fun _ ->
+          if Rng.int rng 100 < 95 then
+            Read (Zipfian.latest zipf rng ~n:!inserted)
+          else insert ())
+  | E ->
+      List.init spec.op_count (fun _ ->
+          if Rng.int rng 100 < 95 then
+            Scan (pick (), 1 + Rng.int rng spec.max_scan_len)
+          else insert ())
+  | F ->
+      List.init spec.op_count (fun _ ->
+          if Rng.int rng 100 < 50 then Read (pick ())
+          else Read_modify_write (pick ()))
+
+(** YCSB-style keys: zero-padded decimal with a fixed prefix, 16 bytes. *)
+let key_bytes k = Fmt.str "user%012d" k
+
+(** Deterministic 96-byte values derived from the key and a version. *)
+let value_bytes ~k ~version =
+  let seed = (k * 31) + version in
+  String.init 96 (fun idx -> Char.chr (((seed + (idx * 7)) land 0x3F) + 0x20))

@@ -1,0 +1,42 @@
+(** The YCSB core workloads (Cooper et al., SoCC'10), as used by the
+    paper's Redis experiment (§6.3): Load plus A-F.
+
+    - Load: 100% insert, sequential keys
+    - A: 50% read / 50% update, zipfian
+    - B: 95% read / 5% update, zipfian
+    - C: 100% read, zipfian
+    - D: 95% read / 5% insert, latest
+    - E: 95% scan / 5% insert, zipfian
+    - F: 50% read / 50% read-modify-write, zipfian *)
+
+type op =
+  | Read of int
+  | Update of int
+  | Insert of int
+  | Scan of int * int  (** start key, length *)
+  | Read_modify_write of int
+
+type kind = Load | A | B | C | D | E | F
+
+val kind_to_string : kind -> string
+val all_kinds : kind list
+
+type spec = {
+  kind : kind;
+  record_count : int;  (** records loaded before the run *)
+  op_count : int;
+  max_scan_len : int;
+}
+
+(** The paper's parameters: 10k records, 10k ops, scans up to 10. *)
+val default_spec : kind -> spec
+
+(** Generate the operation sequence for a trial; deterministic in [seed].
+    Inserts use keys beyond the loaded range, as YCSB does. *)
+val ops : spec -> seed:int -> op list
+
+(** YCSB-style keys: ["user%012d"], 16 bytes. *)
+val key_bytes : int -> string
+
+(** Deterministic printable 96-byte values derived from key and version. *)
+val value_bytes : k:int -> version:int -> string

@@ -1,0 +1,13 @@
+(** Zipfian key-chooser, following the YCSB implementation (Gray et al.'s
+    rejection-free formula). Item 0 is the most popular. *)
+
+type t
+
+(** [create ?theta items]; YCSB's default skew is [theta = 0.99]. *)
+val create : ?theta:float -> int -> t
+
+val next : t -> Rng.t -> int
+
+(** "Latest" distribution for workload D: zipfian over recency — with [n]
+    inserted items, returns an index near [n-1] most of the time. *)
+val latest : t -> Rng.t -> n:int -> int

@@ -1,0 +1,45 @@
+  $ cat > demo.pmir <<'PMIR'
+  > ; Listing 5 from the paper, in textual PMIR
+  > func @update(%addr, %idx, %val) {
+  > entry:
+  >   %slot = gep %addr, %idx
+  >   store.i8 %val -> %slot @ "update.c":2
+  >   ret
+  > }
+  > 
+  > func @modify(%addr) {
+  > entry:
+  >   call @update(%addr, 0, 42) @ "modify.c":5
+  >   ret
+  > }
+  > 
+  > func @main() {
+  > entry:
+  >   %vol = call @malloc(64)
+  >   %pm = call @pm_alloc(64)
+  >   %i = mov 0
+  >   br head
+  > head:
+  >   %c = lt %i, 100
+  >   condbr %c, body, done
+  > body:
+  >   call @modify(%vol) @ "foo.c":18
+  >   %i = add %i, 1
+  >   br head
+  > done:
+  >   call @modify(%pm) @ "foo.c":19
+  >   crash @ "foo.c":23
+  >   ret
+  > }
+  > PMIR
+  $ hippocrates check demo.pmir --trace-out demo.trace
+  $ hippocrates fix demo.pmir --trace demo.trace -o demo.fixed.pmir
+  $ grep -A4 'func @update_PM' demo.fixed.pmir
+  $ hippocrates check demo.fixed.pmir
+  $ hippocrates fix demo.pmir --trace demo.trace --no-hoist -o demo.intra.pmir
+  $ grep -c 'flush.clwb' demo.intra.pmir
+  $ hippocrates check demo.intra.pmir
+  $ hippocrates check demo.pmir --format pmtest --trace-out demo.pmtest > /dev/null
+  $ hippocrates fix demo.pmir --trace demo.pmtest --format pmtest -o demo.fixed2.pmir
+  $ diff demo.fixed.pmir demo.fixed2.pmir
+  $ hippocrates corpus | wc -l

@@ -1,0 +1,3 @@
+  $ hippocrates check pmlog.pmir
+  $ hippocrates fix pmlog.pmir --diff -o pmlog.fixed.pmir
+  $ hippocrates check pmlog.fixed.pmir

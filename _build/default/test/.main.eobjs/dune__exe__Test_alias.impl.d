@@ -1,0 +1,1 @@
+test/test_alias.ml: Alcotest Andersen Builder Func Hippo_alias Hippo_apps Hippo_pmcheck Hippo_pmdk_mini Hippo_pmir Iid Instr Interp Lazy List Option Oracle Program Trace Value

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Crashsim Hippo_apps Hippo_core Hippo_pmcheck Hippo_ycsb Interp Layout List Mem Memcached_mini Pclht Printf Redis_bench Redis_mini String

@@ -1,0 +1,1 @@
+test/test_bugstudy.ml: Alcotest Dataset Hippo_bugstudy Hippo_pmdk_mini List Printf

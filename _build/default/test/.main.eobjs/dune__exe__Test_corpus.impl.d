@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Bugs Case Driver Fix Hashtbl Hippo_apps Hippo_core Hippo_pmcheck Hippo_pmdk_mini Lazy List Report String Verify

@@ -1,0 +1,1 @@
+test/test_e2e.ml: Alcotest Builder Crashsim Driver Hippo_apps Hippo_core Hippo_perfmodel Hippo_pmcheck Hippo_pmir Hippo_ycsb Interp List Printer Program QCheck QCheck_alcotest Validate Value Verify

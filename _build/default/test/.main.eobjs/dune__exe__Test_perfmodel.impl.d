@@ -1,0 +1,1 @@
+test/test_perfmodel.ml: Alcotest Builder Cost Hippo_perfmodel Hippo_pmcheck Hippo_pmir Interp Stats Timed Value

@@ -1,0 +1,1 @@
+test/test_pmcheck.ml: Alcotest Builder Bytes Cost Crashsim Hippo_pmcheck Hippo_pmir Iid Instr Int64 Interp Layout List Loc Mem Pmtest_format Printf Pstate Report Sitestats Trace Validate Value

@@ -1,0 +1,1 @@
+test/test_pmir.ml: Alcotest Builder Clone Func Hippo_pmir Iid Instr List Loc Parser Printer Program QCheck QCheck_alcotest Validate Value

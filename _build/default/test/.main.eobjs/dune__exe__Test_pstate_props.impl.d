@@ -1,0 +1,1 @@
+test/test_pstate_props.ml: Bytes Hippo_pmcheck Hippo_pmir Iid Instr List Loc Mem Printf Pstate QCheck QCheck_alcotest Report String

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Builder Bytes Char Hippo_pmcheck Hippo_pmdk_mini Hippo_pmir Int64 Interp List Mem Printf Report String Validate Value

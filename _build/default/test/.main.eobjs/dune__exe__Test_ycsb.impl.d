@@ -1,0 +1,1 @@
+test/test_ycsb.ml: Alcotest Array Char Fun Hippo_ycsb List QCheck QCheck_alcotest Rng String Workload Zipfian

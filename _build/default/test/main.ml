@@ -1,0 +1,18 @@
+(* Aggregated alcotest entry point for the whole repository. *)
+let () =
+  Alcotest.run "hippocrates"
+    [
+      ("pmir", Test_pmir.suite);
+      ("pmcheck", Test_pmcheck.suite);
+      ("pstate-props", Test_pstate_props.suite);
+      ("runtime", Test_runtime.suite);
+      ("alias", Test_alias.suite);
+      ("fixes", Test_fixes.suite);
+      ("driver", Test_driver.suite);
+      ("corpus", Test_corpus.suite);
+      ("apps", Test_apps.suite);
+      ("ycsb", Test_ycsb.suite);
+      ("perfmodel", Test_perfmodel.suite);
+      ("bugstudy", Test_bugstudy.suite);
+      ("e2e", Test_e2e.suite);
+    ]

@@ -1,0 +1,34 @@
+Repairing the sample append-only log shipped in examples/ir.
+
+The entry-body stores are never flushed (the count is):
+
+  $ hippocrates check pmlog.pmir
+  main() returned 0
+  PM stores: 16, flushes: 6, fences: 6
+  durability bugs: 4
+    [missing-flush] store at log.c:10 (log_append#10), 0x40000040+8, unpersisted at log.c:16
+    [missing-flush] store at log.c:11 (log_append#12), 0x40000048+8, unpersisted at log.c:16
+    [missing-flush] store at log.c:10 (log_append#10), 0x40000040+8, unpersisted at <exit>:0
+    [missing-flush] store at log.c:11 (log_append#12), 0x40000048+8, unpersisted at <exit>:0
+  [1]
+
+Both take intraprocedural flushes (the stores are PM-only), shown as a patch:
+
+  $ hippocrates fix pmlog.pmir --diff -o pmlog.fixed.pmir
+  target: pmlog.pmir
+  bugs: 4
+  fixes: 2 (2 intraprocedural, 0 interprocedural)
+  reduction eliminated: 2
+  IR size: 47 -> 49 (+4.255%)
+  verification: residual bugs: 0; outputs match; PM state match
+  --- @log_append at log.c:10
+      store.i64 %a -> %p
+    + flush.clwb %p
+  --- @log_append at log.c:11
+      store.i64 %b -> %p8
+    + flush.clwb %p8
+
+  $ hippocrates check pmlog.fixed.pmir
+  main() returned 0
+  PM stores: 16, flushes: 16, fences: 6
+  durability bugs: 0

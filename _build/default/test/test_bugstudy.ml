@@ -1,0 +1,68 @@
+(* The §3 bug study dataset must reproduce Fig. 1's aggregates exactly. *)
+
+open Hippo_bugstudy
+
+let row label =
+  List.find (fun (r : Dataset.row) -> r.Dataset.label = label) (Dataset.figure1 ())
+
+let test_group_sizes () =
+  Alcotest.(check int) "26 issues" 26 (List.length Dataset.issues);
+  Alcotest.(check int) "3 core without data" 3 (List.length (row "core, no data").Dataset.members);
+  Alcotest.(check int) "14 core with data" 14 (List.length (row "core").Dataset.members);
+  Alcotest.(check int) "4 misuse without data" 4 (List.length (row "misuse, no data").Dataset.members);
+  Alcotest.(check int) "5 misuse with data" 5 (List.length (row "misuse").Dataset.members)
+
+let test_core_aggregates () =
+  let r = row "core" in
+  Alcotest.(check (option int)) "avg 17 commits" (Some 17) r.Dataset.commits_avg;
+  Alcotest.(check (option int)) "avg 33 days" (Some 33) r.Dataset.days_avg;
+  Alcotest.(check (option int)) "max 66 days" (Some 66) r.Dataset.days_max
+
+let test_misuse_aggregates () =
+  let r = row "misuse" in
+  Alcotest.(check (option int)) "avg 2 commits" (Some 2) r.Dataset.commits_avg;
+  Alcotest.(check (option int)) "avg 15 days" (Some 15) r.Dataset.days_avg;
+  Alcotest.(check (option int)) "max 38 days" (Some 38) r.Dataset.days_max
+
+let test_overall_row () =
+  let r = row "Average" in
+  Alcotest.(check (option int)) "avg 13 commits" (Some 13) r.Dataset.commits_avg;
+  Alcotest.(check (option int)) "avg 28 days" (Some 28) r.Dataset.days_avg;
+  Alcotest.(check (option int)) "max 66 days" (Some 66) r.Dataset.days_max
+
+let test_interprocedural_fraction () =
+  let n, total = Dataset.interprocedural_fraction () in
+  Alcotest.(check int) "16 interprocedural" 16 n;
+  Alcotest.(check int) "of 26" 26 total
+
+let test_issue_numbers_match_paper () =
+  let numbers = List.map (fun i -> i.Dataset.number) Dataset.issues in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (Printf.sprintf "issue %d present" n) true
+        (List.mem n numbers))
+    [ 440; 441; 444; 442; 446; 447; 448; 449; 450; 452; 458; 459; 460; 461;
+      463; 465; 466; 940; 942; 943; 945; 535; 585; 949; 1103; 1118 ]
+
+let test_reproduced_issues_are_in_study () =
+  (* every reproduced PMDK case models an issue from the study *)
+  let study = List.map (fun i -> i.Dataset.number) Dataset.issues in
+  List.iter
+    (fun (c : Hippo_pmdk_mini.Case.t) ->
+      match c.Hippo_pmdk_mini.Case.issue with
+      | Some n ->
+          Alcotest.(check bool) (Printf.sprintf "issue %d studied" n) true
+            (List.mem n study)
+      | None -> Alcotest.fail "PMDK case without issue number")
+    Hippo_pmdk_mini.Bugs.all
+
+let suite =
+  [
+    ("group sizes", `Quick, test_group_sizes);
+    ("core aggregates", `Quick, test_core_aggregates);
+    ("misuse aggregates", `Quick, test_misuse_aggregates);
+    ("overall row", `Quick, test_overall_row);
+    ("interprocedural fraction", `Quick, test_interprocedural_fraction);
+    ("issue numbers", `Quick, test_issue_numbers_match_paper);
+    ("reproduced issues studied", `Quick, test_reproduced_issues_are_in_study);
+  ]

@@ -1,0 +1,120 @@
+(* The evaluation corpus as a test suite (E2 effectiveness, E3 heuristic
+   equivalence, E4 accuracy vs developer fixes). *)
+
+open Hippo_pmcheck
+open Hippo_core
+open Hippo_pmdk_mini
+
+let repair ?(options = Driver.default_options) (case : Case.t) =
+  Driver.repair ~options ~name:case.Case.id ~workload:case.Case.workload
+    (Lazy.force case.Case.program)
+
+let results : (string, Driver.result) Hashtbl.t = Hashtbl.create 32
+
+let result_for (case : Case.t) =
+  (* corpus cases sharing a program share the repair result *)
+  let key = case.Case.system in
+  let key = if case.Case.system = "PMDK" then case.Case.id else key in
+  match Hashtbl.find_opt results key with
+  | Some r -> r
+  | None ->
+      let r = repair case in
+      Hashtbl.add results key r;
+      r
+
+let all_cases =
+  Bugs.all @ Hippo_apps.Pclht.cases @ Hippo_apps.Memcached_mini.cases
+
+let test_corpus_has_23_bugs () =
+  Alcotest.(check int) "23 cases" 23 (List.length all_cases);
+  Alcotest.(check int) "11 PMDK" 11 (List.length Bugs.all);
+  Alcotest.(check int) "2 P-CLHT" 2 (List.length Hippo_apps.Pclht.cases);
+  Alcotest.(check int) "10 memcached" 10
+    (List.length Hippo_apps.Memcached_mini.cases)
+
+let check_case (case : Case.t) () =
+  let r = result_for case in
+  Alcotest.(check bool) "bugs found" true (r.Driver.bugs <> []);
+  Alcotest.(check bool) "expected kind reported" true
+    (List.exists
+       (fun (b : Report.bug) -> b.Report.kind = case.Case.expected_kind)
+       r.Driver.bugs);
+  Alcotest.(check bool) "expected fix shape produced" true
+    (List.exists
+       (fun (_, s) -> Case.shape_matches case.Case.expected_shape s)
+       r.Driver.plan.Fix.per_bug);
+  Alcotest.(check bool) "no residual bugs" true
+    (Verify.effective r.Driver.verification);
+  Alcotest.(check bool) "do no harm" true
+    (Verify.harm_free r.Driver.verification)
+
+(* E4 (Fig. 3): the accuracy split — 3 intraprocedural-flush cases whose
+   developer fix was the portable libpmem flush, 8 interprocedural cases
+   functionally identical to the developer fix. *)
+let test_fig3_split () =
+  let intra, inter =
+    List.partition
+      (fun (c : Case.t) -> c.Case.expected_shape = Case.Exp_intra_flush)
+      Bugs.all
+  in
+  Alcotest.(check int) "3 portable-flush rows" 3 (List.length intra);
+  Alcotest.(check int) "8 identical rows" 8 (List.length inter);
+  List.iter
+    (fun (c : Case.t) ->
+      Alcotest.(check bool) "dev fix is portable flush" true
+        (c.Case.dev_fix = Some Case.Dev_portable_flush))
+    intra;
+  List.iter
+    (fun (c : Case.t) ->
+      Alcotest.(check bool) "dev fix is inter flush+fence" true
+        (c.Case.dev_fix = Some Case.Dev_inter_flush_fence))
+    inter
+
+(* E3: Full-AA and Trace-AA produce identical fix plans on every subject. *)
+let test_heuristic_equivalence () =
+  List.iter
+    (fun (case : Case.t) ->
+      let full = repair case in
+      let tr =
+        repair ~options:{ Driver.default_options with oracle = Driver.Trace_aa }
+          case
+      in
+      let plan_sig (r : Driver.result) =
+        List.map Fix.to_string r.Driver.plan.Fix.fixes
+        |> List.sort String.compare
+      in
+      Alcotest.(check (list string))
+        (case.Case.id ^ ": identical fixes")
+        (plan_sig full) (plan_sig tr))
+    all_cases
+
+(* Bug-site counts per system (the paper's 2 + 10 undocumented bugs).
+   P-CLHT is counted by distinct store sites (its durability points report
+   the same omissions repeatedly); memcached by distinct (site, call-chain)
+   bugs, since its two memcpy omissions share one store instruction. *)
+let test_bug_site_counts () =
+  (match Hippo_apps.Pclht.cases with
+  | first :: _ ->
+      let r = result_for first in
+      Alcotest.(check int) "P-CLHT injected sites" 2
+        (Case.static_bug_sites r.Driver.bugs)
+  | [] -> ());
+  match Hippo_apps.Memcached_mini.cases with
+  | first :: _ ->
+      let r = result_for first in
+      Alcotest.(check int) "memcached injected bugs" 10
+        (List.length (Report.dedup r.Driver.bugs));
+      Alcotest.(check int) "memcached distinct sites" 9
+        (Case.static_bug_sites r.Driver.bugs)
+  | [] -> ()
+
+let suite =
+  [
+    ("corpus size", `Quick, test_corpus_has_23_bugs);
+    ("fig3 split", `Quick, test_fig3_split);
+    ("bug site counts", `Slow, test_bug_site_counts);
+    ("heuristic equivalence (E3)", `Slow, test_heuristic_equivalence);
+  ]
+  @ List.map
+      (fun (c : Case.t) -> (c.Case.id, `Slow, check_case c))
+      all_cases

@@ -1,0 +1,145 @@
+(* Tests for the performance model: summary statistics and timed
+   execution under the latency cost model. *)
+
+open Hippo_pmir
+open Hippo_pmcheck
+open Hippo_perfmodel
+
+let i = Value.imm
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_stats_mean_stddev () =
+  let s = Stats.summarize [ 10.0; 12.0; 14.0 ] in
+  Alcotest.(check (float 1e-9)) "mean" 12.0 s.Stats.mean;
+  Alcotest.(check (float 1e-9)) "stddev" 2.0 s.Stats.stddev;
+  Alcotest.(check int) "n" 3 s.Stats.n;
+  Alcotest.(check bool) "ci positive" true (s.Stats.ci95 > 0.0)
+
+let test_stats_single_sample () =
+  let s = Stats.summarize [ 5.0 ] in
+  Alcotest.(check (float 1e-9)) "mean" 5.0 s.Stats.mean;
+  Alcotest.(check (float 1e-9)) "no spread" 0.0 s.Stats.stddev
+
+let test_stats_overlap () =
+  let near1 = Stats.summarize [ 9.0; 10.0; 11.0 ] in
+  let near2 = Stats.summarize [ 10.0; 11.0; 12.0 ] in
+  let far = Stats.summarize [ 100.0; 101.0; 102.0 ] in
+  Alcotest.(check bool) "close intervals overlap" true (Stats.overlap near1 near2);
+  Alcotest.(check bool) "distant intervals do not" false (Stats.overlap near1 far);
+  Alcotest.(check bool) "symmetric" true
+    (Stats.overlap near2 near1 = Stats.overlap near1 near2)
+
+let test_stats_empty_rejected () =
+  match Stats.mean [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection"
+
+(* ------------------------------------------------------------------ *)
+(* Timed *)
+
+let prog_with ~flushes =
+  let b = Builder.create () in
+  let open Builder in
+  let _ =
+    func b "main" [ "n" ] ~body:(fun fb ->
+        let pm = call fb "pm_alloc" [ i 4096 ] in
+        for_ fb "k" ~from:(i 0) ~below:(Value.reg "n") ~body:(fun k ->
+            let slot = gep fb pm (Builder.mul fb k (i 64)) in
+            store fb ~addr:slot k;
+            if flushes then flush fb slot);
+        fence fb ();
+        ret_void fb)
+  in
+  Builder.program b
+
+let measure prog =
+  Timed.measure prog
+    ~setup:(fun _ -> ())
+    ~drive:(fun t () -> ignore (Interp.call t "main" [ 50 ]))
+    ~ops:50
+
+let test_timed_accumulates () =
+  let r = measure (prog_with ~flushes:true) in
+  Alcotest.(check bool) "time accumulated" true (r.Timed.sim_ns > 0.0);
+  Alcotest.(check bool) "steps counted" true (r.Timed.steps > 0);
+  Alcotest.(check bool) "throughput positive" true (Timed.throughput_kops r > 0.0)
+
+let test_timed_flushes_cost_more () =
+  let without = measure (prog_with ~flushes:false) in
+  let with_f = measure (prog_with ~flushes:true) in
+  Alcotest.(check bool) "flushing costs time" true
+    (with_f.Timed.sim_ns > without.Timed.sim_ns)
+
+let test_timed_setup_not_charged () =
+  let prog = prog_with ~flushes:true in
+  let r =
+    Timed.measure prog
+      ~setup:(fun t -> ignore (Interp.call t "main" [ 50 ]))
+      ~drive:(fun _ () -> ())
+      ~ops:1
+  in
+  Alcotest.(check (float 1e-9)) "setup excluded" 0.0 r.Timed.sim_ns
+
+let test_timed_trials_summary () =
+  let prog = prog_with ~flushes:true in
+  let s = Timed.trials 5 (fun _seed -> measure prog) in
+  Alcotest.(check int) "five trials" 5 s.Stats.n;
+  (* deterministic program: zero variance *)
+  Alcotest.(check (float 1e-6)) "deterministic" 0.0 s.Stats.stddev
+
+let test_volatile_flush_penalty () =
+  (* flushing volatile lines (the intraprocedural-fix failure mode) must
+     dominate flushing nothing *)
+  let mk ~vol_flush =
+    let b = Builder.create () in
+    let open Builder in
+    let _ =
+      func b "main" [] ~body:(fun fb ->
+          let buf = call fb "malloc" [ i 4096 ] in
+          for_ fb "k" ~from:(i 0) ~below:(i 50) ~body:(fun k ->
+              let slot = gep fb buf (Builder.mul fb k (i 8)) in
+              store fb ~addr:slot k;
+              if vol_flush then flush fb slot);
+          ret_void fb)
+    in
+    Builder.program b
+  in
+  let quiet =
+    Timed.measure (mk ~vol_flush:false)
+      ~setup:(fun _ -> ())
+      ~drive:(fun t () -> ignore (Interp.call t "main" []))
+      ~ops:1
+  in
+  let noisy =
+    Timed.measure (mk ~vol_flush:true)
+      ~setup:(fun _ -> ())
+      ~drive:(fun t () -> ignore (Interp.call t "main" []))
+      ~ops:1
+  in
+  Alcotest.(check bool) "DRAM write-backs dominate" true
+    (noisy.Timed.sim_ns > 3.0 *. quiet.Timed.sim_ns)
+
+let test_cost_model_variants () =
+  let d = Cost.default in
+  Alcotest.(check bool) "volatile flush is the expensive waste" true
+    (d.Cost.flush_vol_ns > d.Cost.flush_pm_dirty_ns);
+  Alcotest.(check bool) "fence-heavy raises fences" true
+    (Cost.fence_heavy.Cost.fence_base_ns > d.Cost.fence_base_ns);
+  Alcotest.(check bool) "cheap-vol lowers the waste" true
+    (Cost.cheap_vol_flush.Cost.flush_vol_ns < d.Cost.flush_vol_ns)
+
+let suite =
+  [
+    ("stats mean/stddev", `Quick, test_stats_mean_stddev);
+    ("stats single sample", `Quick, test_stats_single_sample);
+    ("stats overlap", `Quick, test_stats_overlap);
+    ("stats empty rejected", `Quick, test_stats_empty_rejected);
+    ("timed accumulates", `Quick, test_timed_accumulates);
+    ("timed flush cost", `Quick, test_timed_flushes_cost_more);
+    ("timed setup not charged", `Quick, test_timed_setup_not_charged);
+    ("timed trials summary", `Quick, test_timed_trials_summary);
+    ("volatile flush penalty", `Quick, test_volatile_flush_penalty);
+    ("cost model variants", `Quick, test_cost_model_variants);
+  ]

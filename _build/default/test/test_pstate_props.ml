@@ -1,0 +1,135 @@
+(* qcheck properties of the persistency state machine: random sequences
+   of PM stores, flushes and fences must maintain the model's invariants,
+   and the durable image must change only at durability events. *)
+
+open Hippo_pmir
+open Hippo_pmcheck
+
+type op = Op_store of int * int | Op_flush of int * Instr.flush_kind | Op_fence
+
+let gen_ops : op list QCheck.Gen.t =
+  let open QCheck.Gen in
+  let slot = int_range 0 7 in
+  list_size (int_range 1 40)
+    (oneof
+       [
+         map2 (fun s v -> Op_store (s, v)) slot (int_range 1 255);
+         map2
+           (fun s k -> Op_flush (s, k))
+           slot
+           (oneofl [ Instr.Clwb; Instr.Clflushopt; Instr.Clflush ]);
+         return Op_fence;
+       ])
+
+let arb_ops =
+  QCheck.make gen_ops
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function
+             | Op_store (s, v) -> Printf.sprintf "store %d<-%d" s v
+             | Op_flush (s, k) ->
+                 Printf.sprintf "flush.%s %d" (Instr.flush_kind_to_string k) s
+             | Op_fence -> "fence")
+           ops))
+
+(* replay an op list through a fresh machine, returning the state and the
+   history of durable images *)
+let replay ops =
+  let ps = Pstate.create () in
+  let m = Mem.create [] in
+  let base = Mem.alloc_pm m 1024 in
+  let seq = ref 0 in
+  let images = ref [ Mem.crash_image m ] in
+  List.iter
+    (fun op ->
+      (match op with
+      | Op_store (s, v) ->
+          let addr = base + (s * 64) in
+          Mem.store m ~addr ~size:8 v;
+          ignore
+            (Pstate.store ps ~iid:(Iid.fresh ~func:"t") ~loc:Loc.none
+               ~stack:[] ~addr ~size:8 ~seq:!seq)
+      | Op_flush (s, k) ->
+          ignore
+            (Pstate.flush ps m ~iid:(Iid.fresh ~func:"t") ~kind:k
+               ~addr:(base + (s * 64)))
+      | Op_fence -> ignore (Pstate.fence ps m ~seq:!seq));
+      incr seq;
+      images := Mem.crash_image m :: !images)
+    ops;
+  (ps, m, List.rev !images)
+
+let prop_no_pending_after_fence =
+  QCheck.Test.make ~name:"fence leaves nothing pending" ~count:300 arb_ops
+    (fun ops ->
+      let ps, _, _ = replay (ops @ [ Op_fence ]) in
+      Pstate.pending_count ps = 0)
+
+let prop_fully_persisted_after_flush_all_fence =
+  QCheck.Test.make
+    ~name:"flushing every line then fencing persists everything" ~count:300
+    arb_ops
+    (fun ops ->
+      let all_flushes = List.init 8 (fun s -> Op_flush (s, Instr.Clwb)) in
+      let ps, m, _ = replay (ops @ all_flushes @ [ Op_fence ]) in
+      Pstate.unpersisted_count ps = 0
+      && Bytes.equal (Mem.crash_image m) (Mem.working_image m))
+
+let prop_image_changes_only_at_durability_events =
+  QCheck.Test.make
+    ~name:"durable image changes only at clflush or fence" ~count:300 arb_ops
+    (fun ops ->
+      let _, _, images = replay ops in
+      let rec walk ops images =
+        match (ops, images) with
+        | op :: ops', before :: (after :: _ as images') ->
+            let durability_event =
+              match op with
+              | Op_flush (_, Instr.Clflush) | Op_fence -> true
+              | _ -> false
+            in
+            (durability_event || Bytes.equal before after)
+            && walk ops' images'
+        | _ -> true
+      in
+      walk ops images)
+
+let prop_bug_counts_consistent =
+  QCheck.Test.make
+    ~name:"reported bugs equal the unpersisted-record count" ~count:300
+    arb_ops
+    (fun ops ->
+      let ps, _, _ = replay ops in
+      let crash : Report.crash_info =
+        { crash_iid = None; crash_loc = Loc.none; crash_stack = [] }
+      in
+      List.length (Pstate.unpersisted_bugs ps ~crash)
+      = Pstate.unpersisted_count ps)
+
+let prop_missing_fence_only_when_pending =
+  QCheck.Test.make
+    ~name:"missing-fence reports correspond to pending records" ~count:300
+    arb_ops
+    (fun ops ->
+      let ps, _, _ = replay ops in
+      let crash : Report.crash_info =
+        { crash_iid = None; crash_loc = Loc.none; crash_stack = [] }
+      in
+      let bugs = Pstate.unpersisted_bugs ps ~crash in
+      let fence_bugs =
+        List.length
+          (List.filter
+             (fun (b : Report.bug) -> b.Report.kind = Report.Missing_fence)
+             bugs)
+      in
+      fence_bugs = Pstate.pending_count ps)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_no_pending_after_fence;
+    QCheck_alcotest.to_alcotest prop_fully_persisted_after_flush_all_fence;
+    QCheck_alcotest.to_alcotest prop_image_changes_only_at_durability_events;
+    QCheck_alcotest.to_alcotest prop_bug_counts_consistent;
+    QCheck_alcotest.to_alcotest prop_missing_fence_only_when_pending;
+  ]

@@ -1,0 +1,155 @@
+(* Tests for the miniature libpmem runtime (PMIR functions the subject
+   applications link against). *)
+
+open Hippo_pmir
+open Hippo_pmcheck
+
+let i = Value.imm
+
+let runtime_interp extra =
+  let b = Builder.create () in
+  Hippo_pmdk_mini.Runtime.add b;
+  extra b;
+  let p = Builder.program b in
+  Validate.check_exn p;
+  Interp.create Interp.default_config p
+
+let plain () = runtime_interp (fun _ -> ())
+
+let test_memcpy_aligned_and_unaligned () =
+  let t = plain () in
+  let m = Interp.mem t in
+  List.iter
+    (fun (len, doff) ->
+      let src = Mem.alloc_vol m 128 and dst = Mem.alloc_vol m 128 in
+      let dst = dst + doff in
+      let data = String.init len (fun k -> Char.chr ((k * 13 + 5) land 0x7F)) in
+      Mem.write_string m ~addr:src data;
+      let r = Interp.call t "memcpy" [ dst; src; len ] in
+      Alcotest.(check int) "returns dst" dst r;
+      Alcotest.(check string)
+        (Printf.sprintf "copy len=%d off=%d" len doff)
+        data
+        (Mem.read_string m ~addr:dst ~len))
+    [ (64, 0); (13, 0); (64, 1); (7, 3); (0, 0); (96, 0) ]
+
+let test_memset () =
+  let t = plain () in
+  let m = Interp.mem t in
+  let buf = Mem.alloc_vol m 64 in
+  ignore (Interp.call t "memset" [ buf; Char.code 'q'; 20 ]);
+  Alcotest.(check string) "filled" (String.make 20 'q')
+    (Mem.read_string m ~addr:buf ~len:20);
+  Alcotest.(check int) "stops at len" 0 (Mem.load m ~addr:(buf + 20) ~size:1)
+
+let test_memcmp_eq () =
+  let t = plain () in
+  let m = Interp.mem t in
+  let a = Mem.alloc_vol m 32 and b = Mem.alloc_vol m 32 in
+  Mem.write_string m ~addr:a "identical";
+  Mem.write_string m ~addr:b "identical";
+  Alcotest.(check int) "equal" 1 (Interp.call t "memcmp_eq" [ a; b; 9 ]);
+  Mem.store m ~addr:(b + 4) ~size:1 (Char.code 'X');
+  Alcotest.(check int) "differs" 0 (Interp.call t "memcmp_eq" [ a; b; 9 ]);
+  Alcotest.(check int) "prefix still equal" 1 (Interp.call t "memcmp_eq" [ a; b; 4 ])
+
+let test_hash_fnv () =
+  let t = plain () in
+  let m = Interp.mem t in
+  let a = Mem.alloc_vol m 32 in
+  Mem.write_string m ~addr:a "key-one";
+  let h1 = Interp.call t "hash_fnv" [ a; 7 ] in
+  let h1' = Interp.call t "hash_fnv" [ a; 7 ] in
+  Mem.write_string m ~addr:a "key-two";
+  let h2 = Interp.call t "hash_fnv" [ a; 7 ] in
+  Alcotest.(check int) "deterministic" h1 h1';
+  Alcotest.(check bool) "distinguishes keys" true (h1 <> h2);
+  Alcotest.(check bool) "non-negative" true (h1 >= 0)
+
+let test_pmem_persist_makes_durable () =
+  let t = plain () in
+  let m = Interp.mem t in
+  let pm = Mem.alloc_pm m 256 in
+  (* dirty 200 bytes across four lines through the interpreter would need
+     a program; write via host then register stores via a helper program
+     instead: simply check pmem_persist persists host-written content *)
+  let b = Builder.create () in
+  Hippo_pmdk_mini.Runtime.add b;
+  let open Builder in
+  let _ =
+    func b "main" [] ~body:(fun fb ->
+        let p = call fb "pm_alloc" [ i 256 ] in
+        for_ fb "k" ~from:(i 0) ~below:(i 25) ~body:(fun k ->
+            store fb ~addr:(gep fb p (mul fb k (i 8))) k);
+        call_void fb "pmem_persist" [ p; i 200 ];
+        ret_void fb)
+  in
+  let p = Builder.program b in
+  let t2 = Interp.create Interp.default_config p in
+  ignore (Interp.call t2 "main" []);
+  Interp.exit_check t2;
+  Alcotest.(check int) "no bugs: everything persisted" 0
+    (List.length (Interp.bugs t2));
+  let img = Interp.crash_image t2 in
+  for k = 0 to 24 do
+    Alcotest.(check int)
+      (Printf.sprintf "word %d durable" k)
+      k
+      (Int64.to_int (Bytes.get_int64_le img (k * 8)))
+  done;
+  ignore pm;
+  ignore m;
+  ignore t
+
+let test_pmem_flush_without_drain_is_pending () =
+  let b = Builder.create () in
+  Hippo_pmdk_mini.Runtime.add b;
+  let open Builder in
+  let _ =
+    func b "main" [] ~body:(fun fb ->
+        let p = call fb "pm_alloc" [ i 64 ] in
+        store fb ~addr:p (i 5);
+        call_void fb "pmem_flush" [ p; i 8 ];
+        ret_void fb)
+  in
+  let p = Builder.program b in
+  let t = Interp.create Interp.default_config p in
+  ignore (Interp.call t "main" []);
+  Interp.exit_check t;
+  match Interp.bugs t with
+  | [ bug ] ->
+      Alcotest.(check string) "missing fence" "missing-fence"
+        (Hippo_pmcheck.Report.kind_to_string bug.Report.kind)
+  | bugs -> Alcotest.failf "expected exactly one bug, got %d" (List.length bugs)
+
+let test_pmem_memcpy_persist () =
+  let b = Builder.create () in
+  Hippo_pmdk_mini.Runtime.add b;
+  let open Builder in
+  let _ =
+    func b "main" [] ~body:(fun fb ->
+        let src = call fb "malloc" [ i 64 ] in
+        for_ fb "k" ~from:(i 0) ~below:(i 8) ~body:(fun k ->
+            store fb ~addr:(gep fb src k) ~size:1 (add fb k (i 65)));
+        let dst = call fb "pm_alloc" [ i 64 ] in
+        ignore (call fb "pmem_memcpy_persist" [ dst; src; i 8 ]);
+        ret_void fb)
+  in
+  let p = Builder.program b in
+  let t = Interp.create Interp.default_config p in
+  ignore (Interp.call t "main" []);
+  Interp.exit_check t;
+  Alcotest.(check int) "clean" 0 (List.length (Interp.bugs t));
+  Alcotest.(check string) "durable content" "ABCDEFGH"
+    (Bytes.sub_string (Interp.crash_image t) 0 8)
+
+let suite =
+  [
+    ("memcpy aligned/unaligned", `Quick, test_memcpy_aligned_and_unaligned);
+    ("memset", `Quick, test_memset);
+    ("memcmp_eq", `Quick, test_memcmp_eq);
+    ("hash_fnv", `Quick, test_hash_fnv);
+    ("pmem_persist durability", `Quick, test_pmem_persist_makes_durable);
+    ("pmem_flush needs drain", `Quick, test_pmem_flush_without_drain_is_pending);
+    ("pmem_memcpy_persist", `Quick, test_pmem_memcpy_persist);
+  ]
