@@ -1,0 +1,24 @@
+.PHONY: all build check test bench bench-static clean fmt
+
+all: build
+
+build:
+	dune build
+
+# Tier-1 gate: everything compiles and the full test suite passes.
+check:
+	dune build && dune runtest
+
+test: check
+
+bench:
+	dune exec bench/main.exe -- table_effectiveness
+
+bench-static:
+	dune exec bench/main.exe -- table_static
+
+clean:
+	dune clean
+
+fmt:
+	dune fmt

@@ -77,6 +77,11 @@ let format_arg =
 
 (* check ------------------------------------------------------------- *)
 
+(* Static entry points: the --entry function when the program defines it,
+   the checker's own root inference otherwise. *)
+let static_entries prog ~entry =
+  if Program.mem prog entry then Some [ entry ] else None
+
 let check_cmd =
   let trace_out =
     Arg.(
@@ -85,11 +90,45 @@ let check_cmd =
           ~doc:"Write the PM operation trace, site statistics and bug \
                 reports to $(docv).")
   in
-  let run prog_path entry args trace_out format =
+  let static_flag =
+    Arg.(
+      value & flag
+      & info [ "static" ]
+          ~doc:"Use the static durability analyzer instead of executing a \
+                workload: abstract interpretation from $(b,--entry) (or \
+                the program's roots), no trace events or site statistics.")
+  in
+  let run prog_path entry args trace_out format static =
     let ( let* ) = Result.bind in
+    let static_check prog =
+      let r = Driver.check_static ?entries:(static_entries prog ~entry) prog in
+      Fmt.pr "static analysis: %d entr%s, %d summaries (%d reused)@."
+        (List.length r.Hippo_staticcheck.Checker.stats.entries)
+        (if List.length r.Hippo_staticcheck.Checker.stats.entries = 1 then "y"
+         else "ies")
+        r.Hippo_staticcheck.Checker.stats.summaries_computed
+        r.Hippo_staticcheck.Checker.stats.summary_hits;
+      let bugs = r.Hippo_staticcheck.Checker.bugs in
+      Fmt.pr "durability bugs: %d@." (List.length bugs);
+      List.iter (fun b -> Fmt.pr "  %a@." Report.pp_bug b) bugs;
+      (match trace_out with
+      | Some path ->
+          (* bug reports only: there is no execution, hence no events or
+             site statistics; `fix --trace` accepts the file (Full-AA) *)
+          let oc = open_out path in
+          List.iter
+            (fun b -> output_string oc (Report.to_line b ^ "\n"))
+            bugs;
+          close_out oc;
+          Fmt.pr "reports written to %s@." path
+      | None -> ());
+      Ok (if bugs = [] then 0 else 1)
+    in
     let result =
       let* prog = read_program prog_path in
       let* () = validate_or_die prog in
+      if static then static_check prog
+      else
       let* args = parse_args args in
       let t, ret = run_workload prog ~entry ~args in
       (match ret with
@@ -133,8 +172,11 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~exits
-       ~doc:"Run the pmemcheck-style durability bug finder.")
-    Term.(const run $ prog_arg $ entry_arg $ entry_args_arg $ trace_out $ format_arg)
+       ~doc:"Run the pmemcheck-style durability bug finder (or, with \
+             $(b,--static), the workload-free static analyzer).")
+    Term.(
+      const run $ prog_arg $ entry_arg $ entry_args_arg $ trace_out
+      $ format_arg $ static_flag)
 
 (* fix --------------------------------------------------------------- *)
 
@@ -215,8 +257,25 @@ let fix_cmd =
                 (runtime-dispatched, PMDK developer style) instead of raw \
                 clwb/sfence; requires the program to link the runtime.")
   in
+  let detector_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("dynamic", Driver.Dynamic);
+               ("static", Driver.Static);
+               ("both", Driver.Both);
+             ])
+          Driver.Dynamic
+      & info [ "detector" ] ~docv:"DETECTOR"
+          ~doc:"Where bug reports come from: $(b,dynamic) (execute \
+                $(b,--entry) under the bug finder), $(b,static) (the \
+                workload-free analyzer; verification is static too) or \
+                $(b,both) (union of the two). Ignored with $(b,--trace).")
+  in
   let run prog_path entry args trace_in output no_hoist oracle_choice format
-      portable diff =
+      portable diff detector =
     let ( let* ) = Result.bind in
     let result =
       let* prog = read_program prog_path in
@@ -253,9 +312,27 @@ let fix_cmd =
                   (List.length plan.Fix.fixes)
                   (Fix.count_intra plan) (Fix.count_hoisted plan) eliminated
                   stats'.Apply.clones_created )
+        | None when detector = Driver.Static ->
+            let r =
+              Driver.repair_static ~options
+                ?entries:(static_entries prog ~entry)
+                ~name:prog_path prog
+            in
+            if r.Driver.s_residual <> [] then
+              Error
+                (Fmt.str
+                   "verification failed: %d static bug(s) remain after \
+                    repair"
+                   (List.length r.Driver.s_residual))
+            else
+              Ok (r.Driver.s_repaired, Fmt.str "%a" Driver.pp_static_summary r)
         | None ->
             let workload t = ignore (Interp.call t entry args) in
-            let r = Driver.repair ~options ~name:prog_path ~workload prog in
+            let r =
+              Driver.repair ~options ~detector
+                ?static_entries:(static_entries prog ~entry)
+                ~name:prog_path ~workload prog
+            in
             if not (Verify.effective r.Driver.verification) then
               Error "verification failed: residual bugs after repair"
             else if not (Verify.harm_free r.Driver.verification) then
@@ -285,7 +362,8 @@ let fix_cmd =
     (Cmd.info "fix" ~exits ~doc:"Repair durability bugs with Hippocrates.")
     Term.(
       const run $ prog_arg $ entry_arg $ entry_args_arg $ trace_in $ output
-      $ no_hoist $ oracle_choice $ format_arg $ portable_flag $ diff_flag)
+      $ no_hoist $ oracle_choice $ format_arg $ portable_flag $ diff_flag
+      $ detector_arg)
 
 (* run --------------------------------------------------------------- *)
 

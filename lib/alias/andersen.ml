@@ -289,6 +289,10 @@ let points_to t node =
   | Some set -> set
   | None -> ISet.empty
 
+(** All abstract objects, in oid order — lets clients (the static checker)
+    index allocation sites without re-deriving them from the program. *)
+let objects t = Array.to_list t.objects
+
 let points_to_var t ~func ~reg = points_to t (Var (func, reg))
 
 let obj t oid = t.objects.(oid)

@@ -44,6 +44,10 @@ val analyze : Program.t -> t
 (** The solved points-to set of a node (object ids; empty if unknown). *)
 val points_to : t -> node -> ISet.t
 
+(** All abstract objects, in oid order — the abstract-location universe of
+    the static durability checker. *)
+val objects : t -> obj list
+
 val points_to_var : t -> func:string -> reg:string -> ISet.t
 val obj : t -> int -> obj
 

@@ -78,16 +78,41 @@ let plan ?(options = default_options) ~oracle prog (bugs : Report.bug list) :
     [workload] drives the program through the interpreter (host calls plus
     any scratch-buffer setup); the same workload is replayed on the
     repaired program for verification. *)
-let repair ?(options = default_options) ~name
-    ~(workload : Interp.t -> unit) ?(config = Interp.default_config) prog :
-    result =
+type detector = Dynamic | Static | Both
+
+let detector_name = function
+  | Dynamic -> "dynamic"
+  | Static -> "static"
+  | Both -> "both"
+
+let detector_of_string = function
+  | "dynamic" -> Some Dynamic
+  | "static" -> Some Static
+  | "both" -> Some Both
+  | _ -> None
+
+let check_static ?entries prog = Hippo_staticcheck.Checker.check ?entries prog
+
+let repair ?(options = default_options) ?(detector = Dynamic) ?static_entries
+    ~name ~(workload : Interp.t -> unit) ?(config = Interp.default_config)
+    prog : result =
   let started = Unix_time.now () in
-  (* Step 1: bug finding. *)
+  (* Step 1: bug finding. The workload always runs (verification replays
+     it), but which detector's reports seed the repair is selectable:
+     statically-found bugs flow through the very same pipeline. *)
   let cfg = { config with Interp.trace = true } in
   let t = Interp.create cfg prog in
   (try workload t with Interp.Stopped_at_crash -> ());
   Interp.exit_check t;
-  let bugs = Interp.bugs t in
+  let dynamic_bugs = Interp.bugs t in
+  let bugs =
+    match detector with
+    | Dynamic -> dynamic_bugs
+    | Static -> (check_static ?entries:static_entries prog).bugs
+    | Both ->
+        Report.dedup
+          (dynamic_bugs @ (check_static ?entries:static_entries prog).bugs)
+  in
   let stats = Interp.site_stats t in
   let trace_events = List.length (Interp.trace t) in
   (* Step 2/3: fixes. *)
@@ -135,6 +160,60 @@ let repair ?(options = default_options) ~name
     peak_heap_bytes;
     trace_events;
   }
+
+type static_result = {
+  s_target : string;
+  s_bugs : Report.bug list;
+  s_plan : Fix.plan;
+  s_decisions : Heuristic.decision list;
+  s_repaired : Program.t;
+  s_apply : Apply.stats;
+  s_residual : Report.bug list;
+  s_checker : Hippo_staticcheck.Checker.stats;
+  s_time : float;
+}
+
+(** [repair_static ?options ?entries ~name prog] is the workload-free
+    pipeline: bugs come from the static checker, and verification re-runs
+    the static checker on the repaired program (effectiveness only —
+    "do no harm" needs an execution to compare against, so callers with a
+    workload should use [repair ~detector:Static]). *)
+let repair_static ?(options = default_options) ?entries ~name prog :
+    static_result =
+  let started = Unix_time.now () in
+  let checked = check_static ?entries prog in
+  let oracle = Hippo_alias.Oracle.of_program prog in
+  let plan, decisions, _eliminated = plan ~options ~oracle prog checked.bugs in
+  let repaired, apply_stats =
+    Apply.apply ~reuse:options.clone_reuse ~style:options.style ~oracle prog
+      plan
+  in
+  let residual = (check_static ?entries repaired).bugs in
+  {
+    s_target = name;
+    s_bugs = checked.bugs;
+    s_plan = plan;
+    s_decisions = decisions;
+    s_repaired = repaired;
+    s_apply = apply_stats;
+    s_residual = residual;
+    s_checker = checked.stats;
+    s_time = Unix_time.now () -. started;
+  }
+
+let pp_static_summary ppf r =
+  Fmt.pf ppf
+    "@[<v>target: %s@,static bugs: %d@,fixes: %d (%d intraprocedural, %d \
+     interprocedural)@,residual static bugs: %d@,summaries: %d computed, %d \
+     reused@]"
+    r.s_target
+    (List.length r.s_bugs)
+    (List.length r.s_plan.Fix.fixes)
+    (Fix.count_intra r.s_plan)
+    (Fix.count_hoisted r.s_plan)
+    (List.length r.s_residual)
+    r.s_checker.Hippo_staticcheck.Checker.summaries_computed
+    r.s_checker.Hippo_staticcheck.Checker.summary_hits
 
 let pp_summary ppf r =
   Fmt.pf ppf

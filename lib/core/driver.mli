@@ -59,11 +59,28 @@ val plan :
   Report.bug list ->
   Fix.plan * Heuristic.decision list * int
 
+(** Which bug finder seeds the repair. [Dynamic] is the paper's pipeline
+    (pmemcheck-style tracing); [Static] takes the reports of
+    {!Hippo_staticcheck.Checker} instead — same report shape, same repair
+    stages; [Both] unions the two report sets. *)
+type detector = Dynamic | Static | Both
+
+val detector_name : detector -> string
+val detector_of_string : string -> detector option
+
+(** Run the static durability checker (Step 1 of the static pipeline). *)
+val check_static :
+  ?entries:string list -> Program.t -> Hippo_staticcheck.Checker.result
+
 (** The full pipeline. [workload] drives the program through the
     interpreter; the same workload is replayed on the repaired program for
-    verification. *)
+    verification. [detector] (default [Dynamic]) selects where the bug
+    reports come from; verification is always dynamic. [static_entries]
+    overrides the static checker's entry points. *)
 val repair :
   ?options:options ->
+  ?detector:detector ->
+  ?static_entries:string list ->
   name:string ->
   workload:(Interp.t -> unit) ->
   ?config:Interp.config ->
@@ -71,3 +88,27 @@ val repair :
   result
 
 val pp_summary : Format.formatter -> result -> unit
+
+(** Outcome of the workload-free static pipeline: repair driven purely by
+    static reports, verified by re-running the static checker on the
+    repaired program. *)
+type static_result = {
+  s_target : string;
+  s_bugs : Report.bug list;
+  s_plan : Fix.plan;
+  s_decisions : Heuristic.decision list;
+  s_repaired : Program.t;
+  s_apply : Apply.stats;
+  s_residual : Report.bug list;  (** static bugs left after repair *)
+  s_checker : Hippo_staticcheck.Checker.stats;
+  s_time : float;
+}
+
+val repair_static :
+  ?options:options ->
+  ?entries:string list ->
+  name:string ->
+  Program.t ->
+  static_result
+
+val pp_static_summary : Format.formatter -> static_result -> unit

@@ -1,0 +1,131 @@
+(** Static records -> [Report.bug], witness-chain rebasing, and
+    static-vs-dynamic comparison (see the interface). *)
+
+open Hippo_pmir
+open Hippo_pmcheck
+
+let exit_crash : Report.crash_info =
+  {
+    crash_iid = None;
+    crash_loc = Loc.make ~file:"<exit>" ~line:0;
+    crash_stack = [];
+  }
+
+let bug_of_record (r : Absmem.srec) ~crash : Report.bug =
+  let kind, ordering_flush =
+    match r.pstate with
+    | Lattice.Flush_pending -> (Report.Missing_fence, r.flushed_by)
+    | Lattice.Dirty when r.fence_after -> (Report.Missing_flush, None)
+    | _ -> (Report.Missing_flush_fence, None)
+  in
+  {
+    kind;
+    store =
+      {
+        iid = r.store_iid;
+        loc = r.store_loc;
+        stack = r.chain;
+        addr = 0;
+        size = r.size;
+      };
+    crash;
+    ordering_flush;
+  }
+
+let bugs_at (st : Absmem.t) ~crash =
+  List.filter_map
+    (fun (_, (r : Absmem.srec)) ->
+      if Lattice.undurable r.pstate then Some (bug_of_record r ~crash)
+      else None)
+    (Absmem.records st)
+
+let extend_chain ~callee ~caller ~callsite ~callsite_loc (chain : Trace.stack)
+    =
+  match List.rev chain with
+  | (outer : Trace.frame) :: rest_rev
+    when String.equal outer.Trace.func callee && outer.Trace.callsite = None
+    ->
+      List.rev rest_rev
+      @ [
+          {
+            outer with
+            Trace.callsite = Some callsite;
+            callsite_loc = Some callsite_loc;
+          };
+          { Trace.func = caller; callsite = None; callsite_loc = None };
+        ]
+  | _ -> chain
+
+let extend_state ~callee ~caller ~callsite ~callsite_loc (st : Absmem.t) =
+  let mem =
+    Absmem.KMap.fold
+      (fun (k : Absmem.Key.t) (r : Absmem.srec) acc ->
+        let chain =
+          extend_chain ~callee ~caller ~callsite ~callsite_loc r.chain
+        in
+        Absmem.KMap.add
+          (Absmem.key_of ~oid:k.oid ~iid:r.store_iid ~chain)
+          { r with Absmem.chain } acc)
+      st.Absmem.mem Absmem.KMap.empty
+  in
+  { st with Absmem.mem }
+
+let extend_report ~callee ~caller ~callsite ~callsite_loc (b : Report.bug) =
+  let ext = extend_chain ~callee ~caller ~callsite ~callsite_loc in
+  {
+    b with
+    store = { b.store with stack = ext b.store.stack };
+    crash = { b.crash with crash_stack = ext b.crash.crash_stack };
+  }
+
+let site_key (b : Report.bug) =
+  Fmt.str "%a|%s" Iid.pp b.store.iid
+    (String.concat ","
+       (List.map
+          (fun (f, s) ->
+            f ^ match s with Some n -> "@" ^ string_of_int n | None -> "")
+          (Absmem.chain_sites b.store.stack)))
+
+let kind_covers ~static_ ~dynamic =
+  static_ = dynamic || static_ = Report.Missing_flush_fence
+
+type comparison = {
+  matched : (Report.bug * Report.bug) list;
+  missed : Report.bug list;
+  extra : Report.bug list;
+}
+
+let dedup_by_site bugs =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun b ->
+      let k = site_key b in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.replace seen k ();
+        true
+      end)
+    bugs
+
+let compare_reports ~static_ ~dynamic =
+  let dyn_sites = dedup_by_site dynamic in
+  let sta_sites = dedup_by_site static_ in
+  let matched, missed =
+    List.partition_map
+      (fun d ->
+        match
+          List.find_opt
+            (fun s ->
+              String.equal (site_key s) (site_key d)
+              && kind_covers ~static_:s.Report.kind ~dynamic:d.Report.kind)
+            sta_sites
+        with
+        | Some s -> Left (d, s)
+        | None -> Right d)
+      dyn_sites
+  in
+  let covered = List.map (fun (_, s) -> site_key s) matched in
+  let extra =
+    List.filter (fun s -> not (List.mem (site_key s) covered)) sta_sites
+  in
+  { matched; missed; extra }

@@ -1,0 +1,80 @@
+(** Bridging static analysis results into {!Hippo_pmcheck.Report} bugs.
+
+    The repair pipeline (Compute → Reduce → Heuristic → Apply → Verify)
+    consumes [Report.bug] values and never asks where they came from; this
+    module makes static records produce bugs indistinguishable in shape
+    from the dynamic checker's, so the pipeline repairs them unchanged:
+
+    - the witness chain plays the role of the dynamic call stack
+      (innermost first, outermost frame's callsite [None], exactly what
+      {!Hippo_core.Heuristic} walks when hoisting fixes);
+    - the one field statics cannot produce — the concrete store address —
+      is synthesised as [0]; no repair stage reads it. *)
+
+open Hippo_pmir
+open Hippo_pmcheck
+
+(** The implicit crash point at program exit, byte-identical to the
+    dynamic interpreter's ([crash_iid = None], location ["<exit>":0],
+    empty stack). *)
+val exit_crash : Report.crash_info
+
+(** Classify one live record at a crash point:
+    [Flush_pending] -> missing-fence (with its [ordering_flush]),
+    [Dirty] with a fence guaranteed later -> missing-flush,
+    [Dirty] without / [Top] -> missing-flush&fence. *)
+val bug_of_record : Absmem.srec -> crash:Report.crash_info -> Report.bug
+
+(** All bugs implied by the live records of a state at a crash point. *)
+val bugs_at : Absmem.t -> crash:Report.crash_info -> Report.bug list
+
+(** Rebase a callee-relative witness chain at a call site: the outermost
+    frame — when it is the callee's own, callsite-less frame — receives
+    the call instruction, and the caller's frame is appended. Chains not
+    rooted in the callee (pass-through records) are returned unchanged. *)
+val extend_chain :
+  callee:string ->
+  caller:string ->
+  callsite:Iid.t ->
+  callsite_loc:Loc.t ->
+  Trace.stack ->
+  Trace.stack
+
+(** Rebase every record chain in a summary exit state (re-keying, since
+    chains are part of record keys). *)
+val extend_state :
+  callee:string ->
+  caller:string ->
+  callsite:Iid.t ->
+  callsite_loc:Loc.t ->
+  Absmem.t ->
+  Absmem.t
+
+val extend_report :
+  callee:string ->
+  caller:string ->
+  callsite:Iid.t ->
+  callsite_loc:Loc.t ->
+  Report.bug ->
+  Report.bug
+
+(** Matching a static report against dynamic ground truth. Site identity
+    is (store instruction, chain call sites) — crash point and kind are
+    compared separately, because a static exit report legitimately stands
+    in for dynamic reports at interior crash points. *)
+val site_key : Report.bug -> string
+
+(** Does a static kind cover a dynamic one? Equal kinds do; so does
+    static missing-flush&fence (its repair — flush and fence — subsumes
+    the repair of either weaker kind). *)
+val kind_covers : static_:Report.kind -> dynamic:Report.kind -> bool
+
+type comparison = {
+  matched : (Report.bug * Report.bug) list;  (** (dynamic, static) *)
+  missed : Report.bug list;  (** dynamic sites with no covering static report *)
+  extra : Report.bug list;  (** static sites matching no dynamic site *)
+}
+
+(** Compare per site: dynamic bugs are deduplicated by {!site_key} first. *)
+val compare_reports :
+  static_:Report.bug list -> dynamic:Report.bug list -> comparison

@@ -1,0 +1,373 @@
+(** The static durability checker (see the interface for the overall
+    shape: per-function worklist fixpoint, then a single reporting pass;
+    memoized tabulation across calls). *)
+
+open Hippo_pmir
+open Hippo_pmcheck
+module Andersen = Hippo_alias.Andersen
+module ISet = Andersen.ISet
+module SMap = Summary.SMap
+module SSet = Set.Make (String)
+
+type stats = {
+  entries : string list;
+  summaries_computed : int;
+  summary_hits : int;
+}
+
+type result = { bugs : Report.bug list; stats : stats }
+
+type engine = {
+  ctx : Transfer.ctx;
+  info : Summary.info SMap.t;
+  memo : Summary.Memo.t;
+  mutable computed : int;
+  mutable hits : int;
+}
+
+(* Split the caller's state into the part the callee can observe or
+   modify and the part that passes through untouched. A callee that may
+   fence observes everything (a fence drains every pending record); so
+   does one whose mod-set is opaque (see {!Summary.info}). *)
+let project (info : Summary.info) (st : Absmem.t) =
+  if info.may_fence || info.opaque then (Absmem.forget_env st, Absmem.empty)
+  else
+    let relevant (k : Absmem.Key.t) _ = ISet.mem k.Absmem.Key.oid info.touched in
+    ( {
+        Absmem.empty with
+        Absmem.locs = Absmem.KMap.filter relevant st.Absmem.locs;
+        mem = Absmem.KMap.filter relevant st.Absmem.mem;
+      },
+      {
+        st with
+        Absmem.locs =
+          Absmem.KMap.filter (fun k v -> not (relevant k v)) st.Absmem.locs;
+        mem = Absmem.KMap.filter (fun k v -> not (relevant k v)) st.Absmem.mem;
+      } )
+
+(* Recursive call: give up on precision for everything the callee may
+   transitively touch — [Top] locations, one [Top] record per transitive
+   store site (witness chains are approximate here: only stores directly
+   in the callee get the call site attached). *)
+let havoc eng ~caller ~callsite ~callsite_loc callee st =
+  let info = Summary.info_for eng.info callee in
+  let st =
+    ISet.fold (fun oid st -> Absmem.set_loc st oid Lattice.Top) info.touched st
+  in
+  List.fold_left
+    (fun st (iid, loc, size, oids) ->
+      let chain =
+        Adapter.extend_chain ~callee ~caller ~callsite ~callsite_loc
+          [ { Trace.func = Iid.func iid; callsite = None; callsite_loc = None } ]
+      in
+      ISet.fold
+        (fun oid st ->
+          let key = Absmem.key_of ~oid ~iid ~chain in
+          let r =
+            {
+              Absmem.store_iid = iid;
+              store_loc = loc;
+              size;
+              chain;
+              line = None;
+              pstate = Lattice.Top;
+              fence_after = false;
+              flushed_by = None;
+            }
+          in
+          { st with Absmem.mem = Absmem.KMap.add key r st.Absmem.mem })
+        oids st)
+    st info.stores
+
+let bind_params st params args =
+  let rec go st params args =
+    match (params, args) with
+    | p :: ps, a :: as_ -> go (Absmem.bind st p a) ps as_
+    | p :: ps, [] -> go (Absmem.bind st p Absmem.Unknown) ps []
+    | [], _ -> st
+  in
+  go st params args
+
+(* The mini-libpmem functions the checker models as single transfers
+   instead of analysing their bodies: their cache-line loops have a
+   zero-trip path that a path-insensitive fixpoint joins back in, leaving
+   records dirty on a path that cannot execute (len > 0) — every correct
+   [pmem_persist] caller would be flagged. The models mirror the runtime
+   bodies: flush the range, fence, or both.
+
+   [memcpy]/[memset] are deliberately NOT modelled: they are
+   durability-oblivious (no internal flush), their loop summaries are
+   honest, and their unpersisted stores are the paper's central bug
+   pattern. *)
+let libpmem_models =
+  [ "pmem_flush"; "pmem_drain"; "pmem_persist"; "pmem_memcpy_persist" ]
+
+let model_libpmem eng ~func st ~iid callee args =
+  let ev = Transfer.eval eng.ctx ~func st in
+  let arg n = match List.nth_opt args n with Some v -> ev v | None -> Absmem.Unknown in
+  match callee with
+  | "pmem_flush" ->
+      Some (Transfer.flush_range eng.ctx st ~iid ~kind:Instr.Clwb (arg 0) (arg 1), Absmem.Unknown)
+  | "pmem_drain" -> Some (Transfer.fence st, Absmem.Unknown)
+  | "pmem_persist" ->
+      let st = Transfer.flush_range eng.ctx st ~iid ~kind:Instr.Clwb (arg 0) (arg 1) in
+      Some (Transfer.fence st, Absmem.Unknown)
+  | "pmem_memcpy_persist" ->
+      (* copies then persists the destination range: its own stores are
+         durable by return, and any earlier dirty record there is flushed
+         by the same loop; the trailing drain is a full fence *)
+      let st = Transfer.flush_range eng.ctx st ~iid ~kind:Instr.Clwb (arg 0) (arg 2) in
+      Some (Transfer.fence st, arg 0)
+  | _ -> None
+
+let rec handle_call eng ~stack ~func ?collect st (i : Instr.t) dst callee args
+    =
+  let iid = Instr.iid i and loc = Instr.loc i in
+  let bind_dst st sym =
+    match dst with None -> st | Some d -> Absmem.bind st d sym
+  in
+  let singleton oid = Absmem.Ptr { oids = ISet.singleton oid; off = Some 0 } in
+  match model_libpmem eng ~func st ~iid callee args with
+  | Some (st, ret) -> Some (bind_dst st ret)
+  | None ->
+  if Program.is_intrinsic callee then
+    match callee with
+    | "pm_alloc" | "malloc" ->
+        Some
+          (bind_dst st
+             (match Iid.Map.find_opt iid eng.ctx.Transfer.site_oid with
+             | Some oid -> singleton oid
+             | None -> Absmem.Unknown))
+    | "pm_base" ->
+        Some
+          (bind_dst st
+             (match eng.ctx.Transfer.region_oid with
+             | Some oid -> singleton oid
+             | None -> Absmem.Unknown))
+    | "abort" -> None (* the path ends here *)
+    | _ (* pm_size, free, emit *) -> Some (bind_dst st Absmem.Unknown)
+  else
+    match Program.find eng.ctx.Transfer.prog callee with
+    | None -> Some (bind_dst st Absmem.Unknown)
+    | Some cf ->
+        if List.mem callee stack then
+          Some
+            (bind_dst
+               (havoc eng ~caller:func ~callsite:iid ~callsite_loc:loc callee
+                  st)
+               Absmem.Unknown)
+        else
+          let arg_syms = List.map (Transfer.eval eng.ctx ~func st) args in
+          let info = Summary.info_for eng.info callee in
+          let proj, rest = project info st in
+          let outcome =
+            match
+              Summary.Memo.find eng.memo ~callee ~args:arg_syms ~state:proj
+            with
+            | Some o ->
+                eng.hits <- eng.hits + 1;
+                o
+            | None ->
+                let init = bind_params proj (Func.params cf) arg_syms in
+                let exit_st, reports =
+                  analyze_func eng ~stack:(callee :: stack) ~func:callee ~init
+                in
+                let o =
+                  { Summary.out = Absmem.forget_env exit_st; reports }
+                in
+                eng.computed <- eng.computed + 1;
+                Summary.Memo.add eng.memo ~callee ~args:arg_syms ~state:proj o;
+                o
+          in
+          let ext =
+            Adapter.extend_state ~callee ~caller:func ~callsite:iid
+              ~callsite_loc:loc outcome.Summary.out
+          in
+          (match collect with
+          | Some r ->
+              r :=
+                List.map
+                  (Adapter.extend_report ~callee ~caller:func ~callsite:iid
+                     ~callsite_loc:loc)
+                  outcome.Summary.reports
+                @ !r
+          | None -> ());
+          (* [ext] and [rest] have disjoint key domains by construction *)
+          let merged =
+            {
+              Absmem.env = st.Absmem.env;
+              locs =
+                Absmem.KMap.union
+                  (fun _ a b -> Some (Lattice.join a b))
+                  ext.Absmem.locs rest.Absmem.locs;
+              mem =
+                Absmem.KMap.union (fun _ a _ -> Some a) ext.Absmem.mem
+                  rest.Absmem.mem;
+            }
+          in
+          let ret_sym =
+            let oids =
+              Andersen.points_to eng.ctx.Transfer.aa (Andersen.Retval callee)
+            in
+            if ISet.is_empty oids then Absmem.Unknown
+            else Absmem.Ptr { oids; off = None }
+          in
+          Some (bind_dst merged ret_sym)
+
+(* Analyse one function body from [init]: worklist fixpoint over block
+   in-states, then one reporting pass over the converged states (so a
+   block revisited by the fixpoint cannot duplicate or misclassify
+   reports). Returns the exit state (join over [ret]s, environment
+   dropped) and the collected reports, callee-relative. *)
+and analyze_func eng ~stack ~func ~init =
+  let f = Program.find_exn eng.ctx.Transfer.prog func in
+  let chain = [ { Trace.func; callsite = None; callsite_loc = None } ] in
+  let in_states : (string, Absmem.t) Hashtbl.t = Hashtbl.create 16 in
+  let entry = (Func.entry f).Func.label in
+  Hashtbl.replace in_states entry init;
+  let work = Queue.create () in
+  Queue.add entry work;
+  let propagate target st =
+    match Hashtbl.find_opt in_states target with
+    | None ->
+        Hashtbl.replace in_states target st;
+        Queue.add target work
+    | Some old ->
+        let j = Absmem.join old st in
+        if not (Absmem.equal j old) then begin
+          Hashtbl.replace in_states target j;
+          Queue.add target work
+        end
+  in
+  (* Run one block; with [prop] branch targets are propagated (fixpoint
+     mode), with [collect] crash/callee reports are accumulated
+     (reporting mode). Returns the block's contribution to the exit
+     state. *)
+  let exec_block ?collect ~prop label st0 =
+    let block = Option.get (Func.find_block f label) in
+    let exit_acc = ref None in
+    let join_exit s =
+      let s = Absmem.forget_env s in
+      exit_acc :=
+        Some
+          (match !exit_acc with None -> s | Some e -> Absmem.join e s)
+    in
+    let final =
+      List.fold_left
+        (fun st (i : Instr.t) ->
+          match st with
+          | None -> None
+          | Some s -> (
+              match Instr.op i with
+              | Instr.Call { dst; callee; args } ->
+                  handle_call eng ~stack ~func ?collect s i dst callee args
+              | Instr.Crash ->
+                  (match collect with
+                  | Some r ->
+                      let crash =
+                        {
+                          Report.crash_iid = Some (Instr.iid i);
+                          crash_loc = Instr.loc i;
+                          crash_stack = chain;
+                        }
+                      in
+                      r := Adapter.bugs_at s ~crash @ !r
+                  | None -> ());
+                  Some s
+              | Instr.Ret _ ->
+                  join_exit s;
+                  None
+              | Instr.Br { target } ->
+                  if prop then propagate target s;
+                  None
+              | Instr.Condbr { if_true; if_false; _ } ->
+                  if prop then begin
+                    propagate if_true s;
+                    propagate if_false s
+                  end;
+                  None
+              | _ -> Some (Transfer.step eng.ctx ~func ~chain s i)))
+        (Some st0) block.Func.instrs
+    in
+    (* a block without a terminator ends the function *)
+    (match final with Some s -> join_exit s | None -> ());
+    !exit_acc
+  in
+  while not (Queue.is_empty work) do
+    let label = Queue.pop work in
+    match Hashtbl.find_opt in_states label with
+    | None -> ()
+    | Some st0 -> ignore (exec_block ~prop:true label st0)
+  done;
+  let reports = ref [] in
+  let exit_st =
+    Hashtbl.fold
+      (fun label st acc ->
+        match exec_block ~collect:reports ~prop:false label st with
+        | Some e -> Some (match acc with None -> e | Some a -> Absmem.join a e)
+        | None -> acc)
+      in_states None
+  in
+  let exit_st =
+    match exit_st with Some e -> e | None -> Absmem.forget_env init
+  in
+  (exit_st, !reports)
+
+(* Functions never treated as program entry points: the modelled libpmem
+   surface, and the runtime's durability-oblivious helpers. Analysing a
+   library function as a root would give its pointer formals the
+   context-insensitive points-to fallback and flag its stores as
+   unpersisted-at-exit on behalf of callers it does not have. *)
+let library_names =
+  SSet.of_list
+    (libpmem_models @ [ "memcpy"; "memset"; "memcmp_eq"; "hash_fnv" ])
+
+let default_entries prog =
+  if Program.mem prog "main" then [ "main" ]
+  else
+    let called =
+      List.fold_left
+        (fun acc f ->
+          List.fold_left
+            (fun acc (_, callee, _) -> SSet.add callee acc)
+            acc (Func.call_sites f))
+        SSet.empty (Program.funcs prog)
+    in
+    let candidates =
+      List.filter
+        (fun n -> not (SSet.mem n library_names))
+        (Program.func_names prog)
+    in
+    match List.filter (fun n -> not (SSet.mem n called)) candidates with
+    | [] -> if candidates = [] then Program.func_names prog else candidates
+    | roots -> roots
+
+let check ?entries prog =
+  let aa = Andersen.analyze prog in
+  let ctx = Transfer.make_ctx prog aa in
+  let info = Summary.modinfo ctx in
+  let eng = { ctx; info; memo = Summary.Memo.create (); computed = 0; hits = 0 } in
+  let entries =
+    match entries with Some e -> e | None -> default_entries prog
+  in
+  let bugs =
+    List.concat_map
+      (fun e ->
+        match Program.find prog e with
+        | None -> []
+        | Some _ ->
+            let exit_st, reports =
+              analyze_func eng ~stack:[ e ] ~func:e ~init:Absmem.empty
+            in
+            reports @ Adapter.bugs_at exit_st ~crash:Adapter.exit_crash)
+      entries
+  in
+  {
+    bugs = Report.dedup bugs;
+    stats =
+      {
+        entries;
+        summaries_computed = eng.computed;
+        summary_hits = eng.hits;
+      };
+  }

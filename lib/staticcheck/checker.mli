@@ -1,0 +1,32 @@
+(** The static durability checker: a forward abstract interpretation over
+    PMIR that finds missing-flush / missing-fence / missing-flush&fence
+    bugs without executing a workload.
+
+    Per analysed function, a worklist fixpoint propagates {!Absmem.t}
+    states through the basic blocks (joining at merge points); once
+    converged, a single reporting pass emits a {!Hippo_pmcheck.Report.bug}
+    for every live record at each [crash] instruction and at function
+    exit. Calls to defined functions are analysed by memoized tabulation
+    ({!Summary.Memo}); recursive calls fall back to a conservative havoc
+    of the callee's syntactic mod-set. The resulting reports use witness
+    chains in place of dynamic call stacks and feed the repair pipeline
+    unchanged. *)
+
+open Hippo_pmir
+open Hippo_pmcheck
+
+type stats = {
+  entries : string list;  (** entry points analysed *)
+  summaries_computed : int;
+  summary_hits : int;
+}
+
+type result = { bugs : Report.bug list; stats : stats }
+
+(** [main] when defined; otherwise call-graph roots (functions never
+    called); otherwise every function. *)
+val default_entries : Program.t -> string list
+
+(** Analyse each entry against a fresh abstract PM state. Reports are
+    {!Hippo_pmcheck.Report.dedup}ed across entries. *)
+val check : ?entries:string list -> Program.t -> result

@@ -1,0 +1,165 @@
+(** Interprocedural mod-info and the summary memo table (see the
+    interface). *)
+
+open Hippo_pmir
+open Hippo_pmcheck
+module ISet = Hippo_alias.Andersen.ISet
+module SMap = Map.Make (String)
+
+type info = {
+  touched : ISet.t;
+  may_fence : bool;
+  opaque : bool;
+  stores : (Iid.t * Loc.t * int * ISet.t) list;
+}
+
+let empty_info =
+  { touched = ISet.empty; may_fence = false; opaque = false; stores = [] }
+
+let merge_stores a b =
+  let m =
+    List.fold_left
+      (fun m ((iid, _, _, _) as s) -> Iid.Map.add iid s m)
+      Iid.Map.empty (a @ b)
+  in
+  List.map snd (Iid.Map.bindings m)
+
+let union_info a b =
+  {
+    touched = ISet.union a.touched b.touched;
+    may_fence = a.may_fence || b.may_fence;
+    opaque = a.opaque || b.opaque;
+    stores = merge_stores a.stores b.stores;
+  }
+
+let info_equal a b =
+  ISet.equal a.touched b.touched
+  && a.may_fence = b.may_fence
+  && a.opaque = b.opaque
+  && List.length a.stores = List.length b.stores
+
+let modinfo (ctx : Transfer.ctx) =
+  let direct =
+    List.map
+      (fun f ->
+        let name = Func.name f in
+        let callees = ref [] in
+        let info =
+          Func.fold_instrs
+            (fun acc (i : Instr.t) ->
+              match Instr.op i with
+              | Instr.Store { addr; size; _ } ->
+                  let raw = Transfer.value_oids_raw ctx ~func:name addr in
+                  let acc =
+                    if ISet.is_empty raw then { acc with opaque = true }
+                    else acc
+                  in
+                  let oids = Transfer.pm_only ctx raw in
+                  if ISet.is_empty oids then acc
+                  else
+                    {
+                      acc with
+                      touched = ISet.union acc.touched oids;
+                      stores =
+                        (Instr.iid i, Instr.loc i, size, oids) :: acc.stores;
+                    }
+              | Instr.Flush { addr; _ } ->
+                  let raw = Transfer.value_oids_raw ctx ~func:name addr in
+                  {
+                    acc with
+                    opaque = acc.opaque || ISet.is_empty raw;
+                    touched = ISet.union acc.touched (Transfer.pm_only ctx raw);
+                  }
+              | Instr.Fence _ -> { acc with may_fence = true }
+              | Instr.Call { callee; _ } ->
+                  if Program.mem ctx.prog callee then callees := callee :: !callees;
+                  acc
+              | _ -> acc)
+            empty_info f
+        in
+        (name, info, !callees))
+      (Program.funcs ctx.prog)
+  in
+  let state =
+    ref
+      (List.fold_left
+         (fun m (name, info, _) -> SMap.add name info m)
+         SMap.empty direct)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (name, _, callees) ->
+        let cur = SMap.find name !state in
+        let next =
+          List.fold_left
+            (fun acc c ->
+              match SMap.find_opt c !state with
+              | Some ci -> union_info acc ci
+              | None -> acc)
+            cur callees
+        in
+        if not (info_equal cur next) then begin
+          state := SMap.add name next !state;
+          changed := true
+        end)
+      direct
+  done;
+  !state
+
+let info_for infos name =
+  match SMap.find_opt name infos with Some i -> i | None -> empty_info
+
+type outcome = { out : Absmem.t; reports : Report.bug list }
+
+(* Memo keys: a canonical rendering of (callee, argument symbols,
+   projected state). Locations and chain [Loc] metadata are functionally
+   determined by the identities rendered here, so leaving them out cannot
+   conflate distinct inputs. *)
+module Memo = struct
+  type t = (string, outcome) Hashtbl.t
+
+  let create () : t = Hashtbl.create 64
+
+  let render_sites sites =
+    String.concat ","
+      (List.map
+         (fun (f, s) ->
+           f ^ (match s with Some n -> "@" ^ string_of_int n | None -> ""))
+         sites)
+
+  let render_key ~callee ~args ~(state : Absmem.t) =
+    let b = Buffer.create 128 in
+    Buffer.add_string b callee;
+    List.iter
+      (fun a -> Buffer.add_string b (Fmt.str "|%a" Absmem.pp_sym a))
+      args;
+    Absmem.KMap.iter
+      (fun (k : Absmem.Key.t) l ->
+        Buffer.add_string b
+          (Fmt.str ";L%d:%s=%s" k.oid (render_sites k.sites)
+             (Lattice.to_string l)))
+      state.Absmem.locs;
+    Absmem.KMap.iter
+      (fun (k : Absmem.Key.t) (r : Absmem.srec) ->
+        Buffer.add_string b
+          (Fmt.str ";R%d:%a:%s=%s%s%s%s" k.oid Iid.pp k.iid
+             (render_sites k.sites)
+             (Lattice.to_string r.pstate)
+             (if r.fence_after then "+f" else "")
+             (match r.line with Some l -> Fmt.str "~%d" l | None -> "")
+             (match r.flushed_by with
+             | Some f -> Fmt.str "!%a" Iid.pp f
+             | None -> "")))
+      state.Absmem.mem;
+    Buffer.contents b
+
+  let find t ~callee ~args ~state =
+    Hashtbl.find_opt t (render_key ~callee ~args ~state)
+
+  let add t ~callee ~args ~state outcome =
+    Hashtbl.replace t (render_key ~callee ~args ~state) outcome
+
+  let size = Hashtbl.length
+end

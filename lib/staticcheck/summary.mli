@@ -1,0 +1,66 @@
+(** Interprocedural machinery of the static checker.
+
+    Two pieces:
+
+    - {e syntactic mod-info}: a cheap bottom-up fixpoint computing, per
+      function, the PM objects it may transitively store to or flush,
+      whether it may execute a fence, and its transitive PM store sites.
+      This drives the tabulation (projecting the caller's state to the
+      callee-relevant part makes summary reuse possible) and the havoc
+      applied at recursive calls, where precise analysis is cut off;
+
+    - the {e summary memo table}: analysing a callee is tabulated on
+      (callee, symbolic arguments, projected abstract state). Abstract
+      states are rendered to a canonical string, so the table is a plain
+      hashtable. The cached outcome keeps the callee-relative exit state
+      and bug reports; {!Adapter.extend_state} rebases them at each call
+      site. *)
+
+open Hippo_pmir
+open Hippo_pmcheck
+module ISet = Hippo_alias.Andersen.ISet
+module SMap : Map.S with type key = string
+
+type info = {
+  touched : ISet.t;  (** PM objects possibly stored to or flushed,
+                         transitively through calls *)
+  may_fence : bool;
+  opaque : bool;
+      (** some transitive store/flush address has an {e empty} points-to
+          set — Andersen lost track of it (e.g. a pointer masked with a
+          [Binop], as in [pmem_flush]'s line rounding), so [touched] is
+          not trustworthy as an upper bound and callers must project their
+          whole state *)
+  stores : (Iid.t * Loc.t * int * ISet.t) list;
+      (** transitive PM store sites: identity, location, width, objects *)
+}
+
+(** Per-function mod-info, to fixpoint over the call graph. Recursive
+    cycles are handled by the fixpoint itself (pure unions converge). *)
+val modinfo : Transfer.ctx -> info SMap.t
+
+val info_for : info SMap.t -> string -> info
+
+(** What analysing a callee produced, relative to the callee: [out] has no
+    register environment, and witness chains end at the callee's own
+    frame. *)
+type outcome = { out : Absmem.t; reports : Report.bug list }
+
+module Memo : sig
+  type t
+
+  val create : unit -> t
+
+  val find :
+    t -> callee:string -> args:Absmem.sym list -> state:Absmem.t -> outcome option
+
+  val add :
+    t ->
+    callee:string ->
+    args:Absmem.sym list ->
+    state:Absmem.t ->
+    outcome ->
+    unit
+
+  val size : t -> int
+end

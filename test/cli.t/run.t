@@ -85,6 +85,50 @@ The PMTest trace dialect round-trips through fix as well:
   bugs: 2; fixes: 1 (0 intra, 1 inter); reduction eliminated 2; clones: 2
   $ diff demo.fixed.pmir demo.fixed2.pmir
 
+The static analyzer finds the same two bugs without executing anything
+(exit code 1 signals bugs, as with the dynamic finder):
+
+  $ hippocrates check demo.pmir --static --trace-out demo.static.trace
+  static analysis: 1 entry, 4 summaries (6 reused)
+  durability bugs: 2
+    [missing-flush&fence] store at update.c:2 (update#2), 0x0+1, unpersisted at foo.c:23
+    [missing-flush&fence] store at update.c:2 (update#2), 0x0+1, unpersisted at <exit>:0
+  reports written to demo.static.trace
+  [1]
+
+Workload-free repair from static reports produces the same fix as the
+dynamic pipeline, and the result is clean under both checkers:
+
+  $ hippocrates fix demo.pmir --detector static -o demo.sfixed.pmir
+  target: demo.pmir
+  static bugs: 2
+  fixes: 1 (0 intraprocedural, 1 interprocedural)
+  residual static bugs: 0
+  summaries: 4 computed, 6 reused
+  $ diff demo.fixed.pmir demo.sfixed.pmir
+  $ hippocrates check demo.sfixed.pmir
+  main() returned 0
+  PM stores: 1, flushes: 1, fences: 1
+  durability bugs: 0
+  $ hippocrates check demo.sfixed.pmir --static
+  static analysis: 1 entry, 4 summaries (6 reused)
+  durability bugs: 0
+
+The static report file feeds `fix --trace` like a dynamic trace, and
+`--detector both` unions the two report sets; all three agree here:
+
+  $ hippocrates fix demo.pmir --trace demo.static.trace -o demo.tfixed.pmir
+  bugs: 2; fixes: 1 (0 intra, 1 inter); reduction eliminated 2; clones: 2
+  $ diff demo.sfixed.pmir demo.tfixed.pmir
+  $ hippocrates fix demo.pmir --detector both -o demo.bfixed.pmir
+  target: demo.pmir
+  bugs: 2
+  fixes: 1 (0 intraprocedural, 1 interprocedural)
+  reduction eliminated: 2
+  IR size: 17 -> 24 (+41.176%)
+  verification: residual bugs: 0; outputs match; PM state match
+  $ diff demo.sfixed.pmir demo.bfixed.pmir
+
 The corpus listing shows all 23 reproduced bugs:
 
   $ hippocrates corpus | wc -l
