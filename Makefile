@@ -1,4 +1,4 @@
-.PHONY: all build check test bench bench-static clean fmt
+.PHONY: all build check test bench bench-static trace-demo clean fmt
 
 all: build
 
@@ -16,6 +16,14 @@ bench:
 
 bench-static:
 	dune exec bench/main.exe -- table_static
+
+# One corpus case end to end with engine tracing: JSON-lines events to
+# trace-demo.jsonl, per-phase timing breakdown on stderr.
+trace-demo:
+	dune exec bin/hippocrates_cli.exe -- fix examples/ir/demo.pmir \
+	  --entry main --trace-out trace-demo.jsonl -o /dev/null
+	@echo "--- trace-demo.jsonl ---"
+	@cat trace-demo.jsonl
 
 clean:
 	dune clean

@@ -15,6 +15,8 @@
      bench/main.exe ablate_reuse    — A1: clone reuse on/off
      bench/main.exe ablate_reduction— A2: fix reduction on/off
      bench/main.exe ablate_heuristic— A3: cost-model robustness
+     bench/main.exe table_main      — per-phase engine timing breakdown
+                                      (ablation sweep, shared analysis cache)
      bench/main.exe micro           — bechamel micro-benchmarks *)
 
 open Hippo_pmir
@@ -40,8 +42,9 @@ let fig1 () =
 (* ------------------------------------------------------------------ *)
 (* Corpus plumbing shared by E2/E3/E4/E7 *)
 
-let repair_case ?(options = Driver.default_options) (case : Case.t) =
-  Driver.repair ~options ~name:case.Case.id ~workload:case.Case.workload
+let repair_case ?(options = Driver.default_options) ?cache (case : Case.t) =
+  Driver.repair ~options ?cache ~name:case.Case.id
+    ~workload:case.Case.workload
     (Lazy.force case.Case.program)
 
 (* E2 — §6.1 effectiveness *)
@@ -489,6 +492,48 @@ let table_static () =
      if ok then "zero residual dynamic bugs on all PMDK cases"
      else "RESIDUAL DYNAMIC BUGS REMAIN")
 
+(* ------------------------------------------------------------------ *)
+(* E9 — engine: per-phase breakdown + shared-analysis ablation sweep *)
+
+let table_main () =
+  section
+    "engine — per-phase timing breakdown (ablation sweep, shared analysis \
+     cache)";
+  let cache = Hippo_engine.Cache.create () in
+  let case = List.hd Pclht.cases in
+  let configs =
+    [
+      ("default", Driver.default_options);
+      ("no-hoist", { Driver.default_options with hoisting = false });
+      ("no-reduction", { Driver.default_options with reduction = false });
+      ("no-reuse", { Driver.default_options with clone_reuse = false });
+    ]
+  in
+  let events =
+    List.concat_map
+      (fun (label, options) ->
+        let r = repair_case ~options ~cache case in
+        Fmt.pr "  %-14s fixes: %2d  verified: %s@." label
+          (List.length r.Driver.plan.Fix.fixes)
+          (if
+             Verify.effective r.Driver.verification
+             && Verify.harm_free r.Driver.verification
+           then "yes"
+           else "NO");
+        r.Driver.events)
+      configs
+  in
+  Fmt.pr "  per-phase breakdown (%s, %d configurations):@." case.Case.id
+    (List.length configs);
+  Fmt.pr "%a" Hippo_engine.Event.pp_table events;
+  List.iter
+    (fun (slot, computed, reused) ->
+      Fmt.pr "  cache %-8s computed %d, reused %d@." slot computed reused)
+    (Hippo_engine.Cache.stats cache);
+  Fmt.pr "  Andersen points-to runs across the sweep: %d (expected 1 — \
+          computed once, not once per configuration)@."
+    (Hippo_engine.Cache.andersen_runs cache)
+
 let () =
   let args = Array.to_list Sys.argv in
   let full = List.mem "--full" args in
@@ -508,6 +553,7 @@ let () =
     ablate_reuse ();
     ablate_reduction ();
     ablate_heuristic ();
+    table_main ();
     micro ()
   in
   match cmds with
@@ -527,6 +573,7 @@ let () =
           | "ablate_reuse" -> ablate_reuse ()
           | "ablate_reduction" -> ablate_reduction ()
           | "ablate_heuristic" -> ablate_heuristic ()
+          | "table_main" -> table_main ()
           | "micro" -> micro ()
           | other -> Fmt.epr "unknown experiment %S@." other)
         cmds

@@ -257,6 +257,14 @@ let fix_cmd =
                 (runtime-dispatched, PMDK developer style) instead of raw \
                 clwb/sfence; requires the program to link the runtime.")
   in
+  let trace_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Write the engine's structured per-pass events (timings, \
+                counters, fix provenance) to $(docv) as JSON-lines, and \
+                print a per-phase timing breakdown to stderr.")
+  in
   let detector_arg =
     Arg.(
       value
@@ -275,12 +283,14 @@ let fix_cmd =
                 $(b,both) (union of the two). Ignored with $(b,--trace).")
   in
   let run prog_path entry args trace_in output no_hoist oracle_choice format
-      portable diff detector =
+      portable diff detector trace_out =
     let ( let* ) = Result.bind in
     let result =
       let* prog = read_program prog_path in
       let* () = validate_or_die prog in
       let* args = parse_args args in
+      let collected = ref [] in
+      let trace e = collected := e :: !collected in
       let options =
         {
           Driver.default_options with
@@ -299,7 +309,9 @@ let fix_cmd =
               | Driver.Full_aa -> Hippo_alias.Oracle.of_program prog
               | Driver.Trace_aa -> Hippo_alias.Oracle.trace_aa stats
             in
-            let plan, _, eliminated = Driver.plan ~options ~oracle prog bugs in
+            let plan, _, eliminated =
+              Driver.plan ~options ~trace ~oracle prog bugs
+            in
             let repaired, stats' =
               Apply.apply ~style:options.Driver.style ~oracle prog plan
             in
@@ -314,7 +326,7 @@ let fix_cmd =
                   stats'.Apply.clones_created )
         | None when detector = Driver.Static ->
             let r =
-              Driver.repair_static ~options
+              Driver.repair_static ~options ~trace
                 ?entries:(static_entries prog ~entry)
                 ~name:prog_path prog
             in
@@ -329,7 +341,7 @@ let fix_cmd =
         | None ->
             let workload t = ignore (Interp.call t entry args) in
             let r =
-              Driver.repair ~options ~detector
+              Driver.repair ~options ~detector ~trace
                 ?static_entries:(static_entries prog ~entry)
                 ~name:prog_path ~workload prog
             in
@@ -341,6 +353,13 @@ let fix_cmd =
               Ok (r.Driver.repaired, Fmt.str "%a" Driver.pp_summary r)
       in
       Fmt.epr "%s@." report;
+      (match trace_out with
+      | Some path ->
+          let events = List.rev !collected in
+          Hippo_engine.Event.write_jsonl path events;
+          Fmt.epr "%d engine events written to %s@." (List.length events) path;
+          Fmt.epr "%a" Hippo_engine.Event.pp_table events
+      | None -> ());
       if diff then
         Fmt.epr "%s@." (Diff.report ~original:prog ~repaired);
       let text = Printer.to_string repaired in
@@ -363,7 +382,7 @@ let fix_cmd =
     Term.(
       const run $ prog_arg $ entry_arg $ entry_args_arg $ trace_in $ output
       $ no_hoist $ oracle_choice $ format_arg $ portable_flag $ diff_flag
-      $ detector_arg)
+      $ detector_arg $ trace_out)
 
 (* run --------------------------------------------------------------- *)
 

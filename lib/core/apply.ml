@@ -1,109 +1,4 @@
-(** Fix application (Fig. 2 step 4): rewrite the program with the final
-    plan. Hoists run first (they may consume intraprocedural fix targets'
-    call frames but never the insertion points themselves), then all
-    intraprocedural insertions in one pass. Flush insertions at a point
-    precede fence insertions at the same point, preserving
-    [X -> F(X) -> M]. The rewritten program is re-validated: a structural
-    error here would mean the repair engine broke "do no harm". *)
-
-open Hippo_pmir
-
-(** How intraprocedural fixes are spelled (§6.2's discussion): [Direct]
-    inserts raw [clwb]/[sfence] instructions — Hippocrates's default,
-    preferred by "some high-performance applications"; [Portable] inserts
-    calls to the libpmem-style [pmem_flush]/[pmem_drain] runtime helpers,
-    which real PMDK dispatches on CPU features at run time — the shape the
-    PMDK developers chose for issues 452/940/943. Portable emission
-    requires the program to link the runtime; fixes fall back to [Direct]
-    when it does not. *)
-type style = Direct | Portable
-
-type stats = {
-  intra_flushes : int;
-  intra_fences : int;
-  hoists : int;
-  clones_created : int;
-  instrs_added : int;
-}
-
-let apply ?(reuse = true) ?(style = Direct) ~(oracle : Hippo_alias.Oracle.t)
-    (prog : Program.t) (plan : Fix.plan) : Program.t * stats =
-  let ctx = Transform.create ~reuse ~oracle prog in
-  let hoists =
-    List.filter_map (function Fix.Hoist h -> Some h | Fix.Intra _ -> None)
-      plan.Fix.fixes
-  in
-  List.iter (Transform.hoist ctx) hoists;
-  let prog = ctx.Transform.prog in
-  (* Group intraprocedural insertions by target instruction. *)
-  let intra =
-    List.filter_map (function Fix.Intra i -> Some i | Fix.Hoist _ -> None)
-      plan.Fix.fixes
-  in
-  let by_target : Fix.intra list Iid.Tbl.t = Iid.Tbl.create 64 in
-  List.iter
-    (fun (f : Fix.intra) ->
-      let existing =
-        Option.value (Iid.Tbl.find_opt by_target f.Fix.after) ~default:[]
-      in
-      Iid.Tbl.replace by_target f.Fix.after (existing @ [ f ]))
-    intra;
-  let n_flush = ref 0 and n_fence = ref 0 in
-  let insert_after (i : Instr.t) =
-    match Iid.Tbl.find_opt by_target (Instr.iid i) with
-    | None -> [ i ]
-    | Some fixes ->
-        let fname = Iid.func (Instr.iid i) in
-        let flushes, fences =
-          List.partition
-            (fun (f : Fix.intra) ->
-              match f.Fix.action with
-              | Fix.Add_flush _ -> true
-              | Fix.Add_fence _ -> false)
-            fixes
-        in
-        let portable =
-          style = Portable && Program.mem prog "pmem_flush"
-          && Program.mem prog "pmem_drain"
-        in
-        let mk (f : Fix.intra) =
-          let op =
-            match (f.Fix.action, portable) with
-            | Fix.Add_flush { addr; kind; size = _ }, false ->
-                incr n_flush;
-                Instr.Flush { kind; addr }
-            | Fix.Add_flush { addr; size; kind = _ }, true ->
-                incr n_flush;
-                Instr.Call
-                  {
-                    dst = None;
-                    callee = "pmem_flush";
-                    args = [ addr; Value.imm size ];
-                  }
-            | Fix.Add_fence { kind }, false ->
-                incr n_fence;
-                Instr.Fence { kind }
-            | Fix.Add_fence _, true ->
-                incr n_fence;
-                Instr.Call { dst = None; callee = "pmem_drain"; args = [] }
-          in
-          Instr.make ~iid:(Iid.fresh ~func:fname) ~loc:(Instr.loc i) op
-        in
-        i :: List.map mk (flushes @ fences)
-  in
-  let prog = Program.map_funcs (Func.map_instrs insert_after) prog in
-  (* Every requested insertion point must exist. *)
-  Iid.Tbl.iter
-    (fun iid _ ->
-      if Program.find_instr prog iid = None then
-        invalid_arg (Fmt.str "Apply.apply: insertion point %a not found" Iid.pp iid))
-    by_target;
-  Validate.check_exn prog;
-  ( prog,
-    {
-      intra_flushes = !n_flush;
-      intra_fences = !n_fence;
-      hoists = List.length hoists;
-      clones_created = ctx.Transform.funcs_added;
-      instrs_added = ctx.Transform.instrs_added + !n_flush + !n_fence;
-    } )
+(* Facade: the pipeline pass moved into the engine library (lib/engine);
+   this alias keeps the historical [Hippo_core.Apply] path working for
+   every existing caller. *)
+include Hippo_engine.Apply

@@ -1,21 +1,25 @@
-(** End-to-end repair pipeline (Fig. 2).
+(** End-to-end repair pipeline (Fig. 2) — thin wrappers over the
+    pass-manager engine in [lib/engine].
 
-    Step 1: run the workload under the bug finder, collecting the trace,
-    the per-site pointer observations and the bug reports. Step 2: locate
-    each bug's store in the IR (identities in the trace are IR identities,
-    as in the LLVM implementation). Step 3: compute fixes — Phase 1
-    intraprocedural, Phase 2 reduction, Phase 3 hoisting. Step 4: apply,
-    validate, and re-run the bug finder to confirm zero residual bugs and
-    observational equivalence. *)
+    The engine runs locate -> compute -> reduce -> hoist -> apply ->
+    verify over a shared context, memoizing analyses in a versioned
+    cache and emitting one structured event per pass; these wrappers
+    keep the historical [plan] / [repair] / [repair_static] API (and
+    result shapes) for every existing caller, and add the optional
+    [?cache] / [?trace] hooks that expose the engine's analysis reuse
+    and structured tracing. *)
 
 open Hippo_pmir
 open Hippo_pmcheck
+module E = Hippo_engine
 
-type oracle_choice = Full_aa | Trace_aa
+let now = E.Unix_time.now
 
-let oracle_name = function Full_aa -> "Full-AA" | Trace_aa -> "Trace-AA"
+type oracle_choice = E.Context.oracle_choice = Full_aa | Trace_aa
 
-type options = {
+let oracle_name = E.Context.oracle_name
+
+type options = E.Context.options = {
   oracle : oracle_choice;
   hoisting : bool;  (** Phase 3 on/off (off = the H-intra configuration) *)
   reduction : bool;  (** Phase 2 on/off (ablation A2) *)
@@ -23,14 +27,7 @@ type options = {
   style : Apply.style;  (** raw clwb/sfence vs portable libpmem calls *)
 }
 
-let default_options =
-  {
-    oracle = Full_aa;
-    hoisting = true;
-    reduction = true;
-    clone_reuse = true;
-    style = Apply.Direct;
-  }
+let default_options = E.Context.default_options
 
 type result = {
   target : string;
@@ -47,118 +44,52 @@ type result = {
   time_s : float;  (** wall-clock time of the whole pipeline *)
   peak_heap_bytes : int;
   trace_events : int;
+  events : E.Event.t list;  (** structured per-pass engine events *)
 }
 
-let no_reduction prog (per_bug : (Report.bug * Fix.intra list) list) :
-    Reduce.reduced list =
-  ignore prog;
-  List.concat_map
-    (fun (bug, fixes) ->
-      List.map (fun fix -> { Reduce.fix; bugs = [ bug ] }) fixes)
-    per_bug
+let peak_heap_bytes () =
+  (Gc.quick_stat ()).Gc.top_heap_words * (Sys.word_size / 8)
 
 (** [plan ?options ~oracle prog bugs] runs Steps 2-3 only: compute the fix
     plan for externally-supplied bug reports (e.g. parsed from an on-disk
     trace file, the artifact's command-line mode). *)
-let plan ?(options = default_options) ~oracle prog (bugs : Report.bug list) :
-    Fix.plan * Heuristic.decision list * int =
-  let per_bug = Compute.phase1 prog bugs in
-  let raw = List.fold_left (fun n (_, fs) -> n + List.length fs) 0 per_bug in
-  let reduced =
-    if options.reduction then Reduce.phase2 prog per_bug
-    else no_reduction prog per_bug
-  in
-  let plan, decisions =
-    if options.hoisting then Heuristic.phase3 oracle prog reduced
-    else (Heuristic.phase3_disabled reduced, [])
-  in
-  (plan, decisions, raw - List.length reduced)
+let plan ?(options = default_options) ?cache ?trace ~oracle prog
+    (bugs : Report.bug list) : Fix.plan * Heuristic.decision list * int =
+  E.Engine.plan ~options ?cache ?trace ~oracle prog bugs
 
-(** [repair ?options ~name ~workload ~config prog] runs the full pipeline.
-    [workload] drives the program through the interpreter (host calls plus
-    any scratch-buffer setup); the same workload is replayed on the
-    repaired program for verification. *)
-type detector = Dynamic | Static | Both
+type detector = E.Detector.choice = Dynamic | Static | Both
 
-let detector_name = function
-  | Dynamic -> "dynamic"
-  | Static -> "static"
-  | Both -> "both"
-
-let detector_of_string = function
-  | "dynamic" -> Some Dynamic
-  | "static" -> Some Static
-  | "both" -> Some Both
-  | _ -> None
-
+let detector_name = E.Detector.choice_name
+let detector_of_string = E.Detector.choice_of_string
 let check_static ?entries prog = Hippo_staticcheck.Checker.check ?entries prog
 
 let repair ?(options = default_options) ?(detector = Dynamic) ?static_entries
-    ~name ~(workload : Interp.t -> unit) ?(config = Interp.default_config)
-    prog : result =
-  let started = Unix_time.now () in
-  (* Step 1: bug finding. The workload always runs (verification replays
-     it), but which detector's reports seed the repair is selectable:
-     statically-found bugs flow through the very same pipeline. *)
-  let cfg = { config with Interp.trace = true } in
-  let t = Interp.create cfg prog in
-  (try workload t with Interp.Stopped_at_crash -> ());
-  Interp.exit_check t;
-  let dynamic_bugs = Interp.bugs t in
-  let bugs =
-    match detector with
-    | Dynamic -> dynamic_bugs
-    | Static -> (check_static ?entries:static_entries prog).bugs
-    | Both ->
-        Report.dedup
-          (dynamic_bugs @ (check_static ?entries:static_entries prog).bugs)
+    ?cache ?trace ~name ~(workload : Interp.t -> unit)
+    ?(config = Interp.default_config) prog : result =
+  let started = now () in
+  let ctx =
+    E.Engine.run ~options ?cache ?trace ?static_entries
+      ~detector:(E.Detector.of_choice ?entries:static_entries detector)
+      ~workload ~config ~name prog
   in
-  let stats = Interp.site_stats t in
-  let trace_events = List.length (Interp.trace t) in
-  (* Step 2/3: fixes. *)
-  let oracle =
-    match options.oracle with
-    | Full_aa -> Hippo_alias.Oracle.of_program prog
-    | Trace_aa -> Hippo_alias.Oracle.trace_aa stats
-  in
-  let per_bug = Compute.phase1 prog bugs in
-  let raw_fix_count =
-    List.fold_left (fun n (_, fs) -> n + List.length fs) 0 per_bug
-  in
-  let reduced =
-    if options.reduction then Reduce.phase2 prog per_bug
-    else no_reduction prog per_bug
-  in
-  let reduce_eliminated = raw_fix_count - List.length reduced in
-  let plan, decisions =
-    if options.hoisting then Heuristic.phase3 oracle prog reduced
-    else (Heuristic.phase3_disabled reduced, [])
-  in
-  (* Step 4: apply + verify. *)
-  let repaired, apply_stats =
-    Apply.apply ~reuse:options.clone_reuse ~style:options.style ~oracle prog
-      plan
-  in
-  let verification =
-    Verify.check ~workload ~config:cfg ~original:prog ~repaired
-  in
-  let time_s = Unix_time.now () -. started in
-  let peak_heap_bytes = (Gc.quick_stat ()).Gc.top_heap_words * 8 in
+  let open E.Context in
+  let repaired_view = Option.get ctx.repaired in
   {
     target = name;
-    bugs;
-    plan;
-    decisions;
-    repaired;
-    apply_stats;
-    verification;
-    raw_fix_count;
-    reduce_eliminated;
-    input_instrs = Program.size prog;
-    output_instrs = Program.size repaired;
-    time_s;
-    peak_heap_bytes;
-    trace_events;
+    bugs = ctx.bugs;
+    plan = ctx.plan;
+    decisions = ctx.decisions;
+    repaired = E.Cache.program repaired_view;
+    apply_stats = Option.get ctx.apply_stats;
+    verification = Option.get ctx.verification;
+    raw_fix_count = ctx.raw_fix_count;
+    reduce_eliminated = ctx.raw_fix_count - List.length ctx.reduced;
+    input_instrs = E.Cache.size ctx.input;
+    output_instrs = E.Cache.size repaired_view;
+    time_s = now () -. started;
+    peak_heap_bytes = peak_heap_bytes ();
+    trace_events = ctx.trace_events;
+    events = E.Context.events ctx;
   }
 
 type static_result = {
@@ -171,6 +102,7 @@ type static_result = {
   s_residual : Report.bug list;
   s_checker : Hippo_staticcheck.Checker.stats;
   s_time : float;
+  s_events : E.Event.t list;
 }
 
 (** [repair_static ?options ?entries ~name prog] is the workload-free
@@ -178,27 +110,33 @@ type static_result = {
     the static checker on the repaired program (effectiveness only —
     "do no harm" needs an execution to compare against, so callers with a
     workload should use [repair ~detector:Static]). *)
-let repair_static ?(options = default_options) ?entries ~name prog :
-    static_result =
-  let started = Unix_time.now () in
-  let checked = check_static ?entries prog in
-  let oracle = Hippo_alias.Oracle.of_program prog in
-  let plan, decisions, _eliminated = plan ~options ~oracle prog checked.bugs in
-  let repaired, apply_stats =
-    Apply.apply ~reuse:options.clone_reuse ~style:options.style ~oracle prog
-      plan
+let repair_static ?(options = default_options) ?entries ?cache ?trace ~name
+    prog : static_result =
+  (match options.oracle with
+  | Full_aa -> ()
+  | Trace_aa ->
+      invalid_arg
+        "Driver.repair_static: the Trace-AA oracle needs a workload trace; \
+         use repair ~detector:Static with a workload, or the Full-AA oracle");
+  let started = now () in
+  let ctx =
+    E.Engine.run ~options ?cache ?trace ?static_entries:entries
+      ~detector:(E.Detector.static_ ?entries ())
+      ~name prog
   in
-  let residual = (check_static ?entries repaired).bugs in
+  let open E.Context in
+  let repaired_view = Option.get ctx.repaired in
   {
     s_target = name;
-    s_bugs = checked.bugs;
-    s_plan = plan;
-    s_decisions = decisions;
-    s_repaired = repaired;
-    s_apply = apply_stats;
-    s_residual = residual;
-    s_checker = checked.stats;
-    s_time = Unix_time.now () -. started;
+    s_bugs = ctx.bugs;
+    s_plan = ctx.plan;
+    s_decisions = ctx.decisions;
+    s_repaired = E.Cache.program repaired_view;
+    s_apply = Option.get ctx.apply_stats;
+    s_residual = Option.value ctx.residual_static ~default:[];
+    s_checker = Option.get ctx.checker_stats;
+    s_time = now () -. started;
+    s_events = E.Context.events ctx;
   }
 
 let pp_static_summary ppf r =

@@ -1,11 +1,12 @@
-(** End-to-end repair pipeline (Fig. 2).
+(** End-to-end repair pipeline (Fig. 2) — thin wrappers over the
+    pass-manager engine ({!Hippo_engine.Engine}).
 
-    Step 1: run the workload under the bug finder, collecting the trace,
-    per-site pointer observations and bug reports. Step 2: locate each
-    bug's store in the IR. Step 3: compute fixes — Phase 1
-    intraprocedural, Phase 2 reduction, Phase 3 hoisting. Step 4: apply,
-    validate, and re-run the bug finder to confirm zero residual bugs and
-    observational equivalence.
+    The engine runs locate -> compute -> reduce -> hoist -> apply ->
+    verify over a shared context; these wrappers keep the historical
+    API. Pass an explicit [?cache] to share memoized analyses (Andersen
+    points-to, the Full-AA oracle, static summaries) across runs — an
+    ablation sweep over one program computes each analysis once — and
+    [?trace] to stream structured per-pass events.
 
     {[
       let result = Driver.repair ~name:"myapp"
@@ -17,11 +18,13 @@
 open Hippo_pmir
 open Hippo_pmcheck
 
-type oracle_choice = Full_aa | Trace_aa
+type oracle_choice = Hippo_engine.Context.oracle_choice =
+  | Full_aa
+  | Trace_aa
 
 val oracle_name : oracle_choice -> string
 
-type options = {
+type options = Hippo_engine.Context.options = {
   oracle : oracle_choice;
   hoisting : bool;  (** Phase 3 on/off (off = the H-intra configuration) *)
   reduction : bool;  (** Phase 2 on/off (ablation A2) *)
@@ -46,6 +49,8 @@ type result = {
   time_s : float;  (** wall-clock time of the whole pipeline (Fig. 5) *)
   peak_heap_bytes : int;
   trace_events : int;
+  events : Hippo_engine.Event.t list;
+      (** structured per-pass engine events, in emission order *)
 }
 
 (** [plan ?options ~oracle prog bugs] runs Steps 2-3 only: compute the fix
@@ -54,6 +59,8 @@ type result = {
     hoisting decisions, and the number of fixes reduction eliminated. *)
 val plan :
   ?options:options ->
+  ?cache:Hippo_engine.Cache.t ->
+  ?trace:(Hippo_engine.Event.t -> unit) ->
   oracle:Hippo_alias.Oracle.t ->
   Program.t ->
   Report.bug list ->
@@ -62,8 +69,9 @@ val plan :
 (** Which bug finder seeds the repair. [Dynamic] is the paper's pipeline
     (pmemcheck-style tracing); [Static] takes the reports of
     {!Hippo_staticcheck.Checker} instead — same report shape, same repair
-    stages; [Both] unions the two report sets. *)
-type detector = Dynamic | Static | Both
+    stages; [Both] unions the two report sets. These are the first-class
+    {!Hippo_engine.Detector.t} sources, selected by name. *)
+type detector = Hippo_engine.Detector.choice = Dynamic | Static | Both
 
 val detector_name : detector -> string
 val detector_of_string : string -> detector option
@@ -81,6 +89,8 @@ val repair :
   ?options:options ->
   ?detector:detector ->
   ?static_entries:string list ->
+  ?cache:Hippo_engine.Cache.t ->
+  ?trace:(Hippo_engine.Event.t -> unit) ->
   name:string ->
   workload:(Interp.t -> unit) ->
   ?config:Interp.config ->
@@ -102,11 +112,19 @@ type static_result = {
   s_residual : Report.bug list;  (** static bugs left after repair *)
   s_checker : Hippo_staticcheck.Checker.stats;
   s_time : float;
+  s_events : Hippo_engine.Event.t list;
 }
 
+(** Workload-free repair from static reports. Respects [options.oracle]:
+    [Full_aa] (the default) uses the whole-program Andersen oracle;
+    [Trace_aa] raises [Invalid_argument] — it needs a workload trace,
+    which this entry point by definition does not have (use
+    [repair ~detector:Static] with a workload instead). *)
 val repair_static :
   ?options:options ->
   ?entries:string list ->
+  ?cache:Hippo_engine.Cache.t ->
+  ?trace:(Hippo_engine.Event.t -> unit) ->
   name:string ->
   Program.t ->
   static_result

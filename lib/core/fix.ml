@@ -1,88 +1,4 @@
-(** Fix representations (paper §4.2).
-
-    Phase 1 produces {e intraprocedural} fixes: a flush inserted
-    immediately after the buggy store (so its address operand is still
-    live — the insertion point guarantees [X -> F(X)]), and/or a fence
-    inserted immediately after the ordering flush. Phase 3 may convert a
-    flush fix into a {e hoist}: a persistent-subprogram transformation at
-    a call site on the buggy store's stack. *)
-
-open Hippo_pmir
-open Hippo_pmcheck
-
-type intra_action =
-  | Add_flush of { addr : Value.t; size : int; kind : Instr.flush_kind }
-      (** [size] is the buggy store's width — used when the fix is emitted
-          in the portable style as a ranged [pmem_flush] call (§6.2) *)
-  | Add_fence of { kind : Instr.fence_kind }
-
-type intra = {
-  after : Iid.t;  (** insertion point: immediately after this instruction *)
-  action : intra_action;
-}
-
-type hoist = {
-  call_site : Iid.t;  (** the call to transform *)
-  callee : string;  (** the subprogram root being made persistent *)
-  depth : int;  (** frames above the PM modification (1 = direct caller) *)
-}
-
-type t = Intra of intra | Hoist of hoist
-
-(** How a bug ends up fixed — the classification axis of Fig. 3. *)
-type shape =
-  | Shape_intra_flush
-  | Shape_intra_fence
-  | Shape_intra_flush_fence
-  | Shape_interprocedural of int  (** hoist depth *)
-
-let shape_to_string = function
-  | Shape_intra_flush -> "intraprocedural flush"
-  | Shape_intra_fence -> "intraprocedural fence"
-  | Shape_intra_flush_fence -> "intraprocedural flush+fence"
-  | Shape_interprocedural d -> Fmt.str "interprocedural flush+fence (%d up)" d
-
-let intra_equal (a : intra) (b : intra) =
-  Iid.equal a.after b.after
-  &&
-  match (a.action, b.action) with
-  | Add_flush x, Add_flush y ->
-      x.kind = y.kind && x.size = y.size && Value.equal x.addr y.addr
-  | Add_fence x, Add_fence y -> x.kind = y.kind
-  | (Add_flush _ | Add_fence _), _ -> false
-
-let equal a b =
-  match (a, b) with
-  | Intra x, Intra y -> intra_equal x y
-  | Hoist x, Hoist y ->
-      Iid.equal x.call_site y.call_site && String.equal x.callee y.callee
-  | (Intra _ | Hoist _), _ -> false
-
-let pp ppf = function
-  | Intra { after; action = Add_flush { addr; kind; size = _ } } ->
-      Fmt.pf ppf "insert flush.%s %a after %a"
-        (Instr.flush_kind_to_string kind)
-        Value.pp addr Iid.pp after
-  | Intra { after; action = Add_fence { kind } } ->
-      Fmt.pf ppf "insert fence.%s after %a"
-        (Instr.fence_kind_to_string kind)
-        Iid.pp after
-  | Hoist { call_site; callee; depth } ->
-      Fmt.pf ppf "persistent subprogram @%s at call site %a (depth %d)" callee
-        Iid.pp call_site depth
-
-let to_string t = Fmt.str "%a" pp t
-
-(** A fix plan: the final fix list plus, per bug, the shape of its fix —
-    consumed by the accuracy experiment (Fig. 3) and the fix-statistics
-    experiment (§6.3). *)
-type plan = {
-  fixes : t list;
-  per_bug : (Report.bug * shape) list;
-}
-
-let count_intra plan =
-  List.length (List.filter (function Intra _ -> true | Hoist _ -> false) plan.fixes)
-
-let count_hoisted plan =
-  List.length (List.filter (function Hoist _ -> true | Intra _ -> false) plan.fixes)
+(* Facade: the pipeline pass moved into the engine library (lib/engine);
+   this alias keeps the historical [Hippo_core.Fix] path working for
+   every existing caller. *)
+include Hippo_engine.Fix

@@ -1,70 +1,4 @@
-(** Phase 2: fix reduction (paper §4.3).
-
-    Merges redundant fixes: two flushes of the same address at the same
-    insertion point reduce to one (both satisfied by a single [F(X)]), and
-    multiple fences at the same point reduce to one. Reduction also drops
-    fixes that duplicate persistence operations already present in the
-    program immediately after the insertion point — re-reported bugs whose
-    mechanism exists but was reported on a different dynamic path never
-    yield double insertions.
-
-    The reduced plan keeps the provenance multimap [fix -> bugs it fixes]:
-    Phase 3 needs it to know when every bug behind a fix has been hoisted
-    away. *)
-
-open Hippo_pmir
-open Hippo_pmcheck
-
-type reduced = {
-  fix : Fix.intra;
-  bugs : Report.bug list;  (** all bugs this single fix discharges *)
-}
-
-(** [already_present prog fix] — the program already performs this exact
-    operation immediately after the insertion point. *)
-let already_present (prog : Program.t) (fix : Fix.intra) =
-  let func = Iid.func fix.Fix.after in
-  match Program.find prog func with
-  | None -> false
-  | Some f ->
-      List.exists
-        (fun (b : Func.block) ->
-          let rec scan = function
-            | i :: (next :: _ as rest) when Iid.equal (Instr.iid i) fix.Fix.after
-              -> (
-                match (fix.Fix.action, Instr.op next) with
-                | Fix.Add_flush { addr; kind; size = _ }, Instr.Flush f' ->
-                    f'.kind = kind && Value.equal f'.addr addr
-                | Fix.Add_fence { kind }, Instr.Fence f' -> f'.kind = kind
-                | _ -> scan rest)
-            | _ :: rest -> scan rest
-            | [] -> false
-          in
-          scan b.instrs)
-        (Func.blocks f)
-
-let phase2 prog (per_bug : (Report.bug * Fix.intra list) list) : reduced list =
-  let table : reduced list ref = ref [] in
-  List.iter
-    (fun (bug, fixes) ->
-      List.iter
-        (fun fix ->
-          match
-            List.find_opt (fun r -> Fix.intra_equal r.fix fix) !table
-          with
-          | Some r ->
-              table :=
-                { r with bugs = bug :: r.bugs }
-                :: List.filter (fun x -> not (x == r)) !table
-          | None -> table := { fix; bugs = [ bug ] } :: !table)
-        fixes)
-    per_bug;
-  (* Drop fixes whose operation already exists at the insertion point. *)
-  List.rev !table
-  |> List.filter (fun r -> not (already_present prog r.fix))
-  |> List.map (fun r -> { r with bugs = List.rev r.bugs })
-
-(** Number of raw fixes eliminated by reduction (ablation metric). *)
-let eliminated ~(raw : (Report.bug * Fix.intra list) list) ~(reduced : reduced list) =
-  List.fold_left (fun n (_, fs) -> n + List.length fs) 0 raw
-  - List.length reduced
+(* Facade: the pipeline pass moved into the engine library (lib/engine);
+   this alias keeps the historical [Hippo_core.Reduce] path working for
+   every existing caller. *)
+include Hippo_engine.Reduce

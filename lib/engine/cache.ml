@@ -1,0 +1,120 @@
+(* Versioned analysis cache: memoized pure analyses keyed by a program
+   version counter. See the interface for the invalidation rules. *)
+
+open Hippo_pmir
+
+type entry = {
+  version : int;
+  prog : Program.t;
+  mutable size : int option;
+  mutable andersen : Hippo_alias.Andersen.t option;
+  mutable oracle : Hippo_alias.Oracle.t option;
+  mutable static_ :
+    (string list option * Hippo_staticcheck.Checker.result) list;
+      (* keyed by the entry-point override *)
+}
+
+type counter = { mutable computes : int; mutable hits : int }
+
+type t = {
+  mutable entries : entry list;  (* newest first *)
+  mutable next_version : int;
+  slots : (string, counter) Hashtbl.t;
+  slot_order : string list;
+}
+
+type view = { cache : t; entry : entry }
+
+let slot_names = [ "size"; "andersen"; "oracle"; "static" ]
+
+let create () =
+  let slots = Hashtbl.create 4 in
+  List.iter
+    (fun n -> Hashtbl.add slots n { computes = 0; hits = 0 })
+    slot_names;
+  { entries = []; next_version = 0; slots; slot_order = slot_names }
+
+let counter t name = Hashtbl.find t.slots name
+
+let view t prog =
+  match List.find_opt (fun e -> e.prog == prog) t.entries with
+  | Some entry -> { cache = t; entry }
+  | None ->
+      let entry =
+        {
+          version = t.next_version;
+          prog;
+          size = None;
+          andersen = None;
+          oracle = None;
+          static_ = [];
+        }
+      in
+      t.next_version <- t.next_version + 1;
+      t.entries <- entry :: t.entries;
+      { cache = t; entry }
+
+let version v = v.entry.version
+let program v = v.entry.prog
+let versions t = t.next_version
+
+(* ------------------------------------------------------------------ *)
+
+let memo v slot get set compute =
+  let c = counter v.cache slot in
+  match get v.entry with
+  | Some x ->
+      c.hits <- c.hits + 1;
+      x
+  | None ->
+      c.computes <- c.computes + 1;
+      let x = compute v.entry.prog in
+      set v.entry x;
+      x
+
+let size v =
+  memo v "size"
+    (fun e -> e.size)
+    (fun e x -> e.size <- Some x)
+    Program.size
+
+let andersen v =
+  memo v "andersen"
+    (fun e -> e.andersen)
+    (fun e x -> e.andersen <- Some x)
+    Hippo_alias.Andersen.analyze
+
+let oracle v =
+  memo v "oracle"
+    (fun e -> e.oracle)
+    (fun e x -> e.oracle <- Some x)
+    (fun _prog -> Hippo_alias.Oracle.full_aa (andersen v))
+
+let static_check ?entries v =
+  let c = counter v.cache "static" in
+  match List.assoc_opt entries v.entry.static_ with
+  | Some r ->
+      c.hits <- c.hits + 1;
+      r
+  | None ->
+      c.computes <- c.computes + 1;
+      let r = Hippo_staticcheck.Checker.check ?entries v.entry.prog in
+      v.entry.static_ <- (entries, r) :: v.entry.static_;
+      r
+
+(* ------------------------------------------------------------------ *)
+
+let andersen_runs t = (counter t "andersen").computes
+
+let stats t =
+  List.map
+    (fun n ->
+      let c = counter t n in
+      (n, c.computes, c.hits))
+    t.slot_order
+
+let pp_stats ppf t =
+  Fmt.pf ppf "@[<v>versions: %d@,%a@]" (versions t)
+    (Fmt.list ~sep:Fmt.cut (fun ppf (n, computes, hits) ->
+         Fmt.pf ppf "%-8s computed %d, reused %d" n computes hits))
+    (stats t)

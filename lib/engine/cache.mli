@@ -1,0 +1,65 @@
+(** Versioned analysis cache.
+
+    The engine's analyses — Andersen points-to, the Full-AA alias
+    oracle, static durability summaries, program size — are pure
+    functions of the program. Rebuilding them for every pipeline run is
+    the dominant cost of ablation sweeps (the same program repaired
+    under several configurations) and of re-verification (the static
+    residual check after repair). The cache memoizes them per {e program
+    version}: a monotonic counter where version 0 is the first program
+    registered and the [apply] pass bumps the counter when it produces a
+    repaired program. Analyses of a version that did not change are
+    never recomputed; registering a new version never invalidates older
+    ones, so a sweep that always starts from the original program keeps
+    hitting version 0's entries.
+
+    Programs are immutable, so a version is keyed by physical equality
+    on the program value: looking up a program already registered
+    returns its existing version, anything else registers a fresh one.
+
+    The [andersen_runs] counter exposes how many times the points-to
+    analysis actually executed — the observable that lets tests prove an
+    ablation sweep computed it exactly once. *)
+
+open Hippo_pmir
+
+type t
+
+val create : unit -> t
+
+(** One registered program version. *)
+type view
+
+(** [view t prog] is the version bound to [prog]: the existing one when
+    [prog] is already registered (physical equality), otherwise a fresh
+    version with a bumped counter. *)
+val view : t -> Program.t -> view
+
+val version : view -> int
+val program : view -> Program.t
+
+(** Number of registered versions (= final counter value + 1). *)
+val versions : t -> int
+
+(* ---- memoized analyses ------------------------------------------- *)
+
+val size : view -> int
+val andersen : view -> Hippo_alias.Andersen.t
+
+(** The Full-AA oracle over {!andersen}. *)
+val oracle : view -> Hippo_alias.Oracle.t
+
+(** Static durability check, memoized per entry-point list. *)
+val static_check :
+  ?entries:string list -> view -> Hippo_staticcheck.Checker.result
+
+(* ---- instrumentation --------------------------------------------- *)
+
+(** How many times the Andersen analysis actually ran (cache misses). *)
+val andersen_runs : t -> int
+
+(** Per-slot [(name, computes, hits)] counters, e.g.
+    [("andersen", 1, 3)] after one miss and three hits. *)
+val stats : t -> (string * int * int) list
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,65 @@
+(** Phase 1: intraprocedural fix computation (paper §4.2, Fig. 2 step 3).
+
+    Every durability bug admits a safe intraprocedural fix (§3.3):
+
+    - missing-flush — a flush of the store's address immediately after the
+      store (a fence already follows dynamically, Theorem 2);
+    - missing-fence — a fence immediately after the flush that covered the
+      store (Theorem 1);
+    - missing-flush&fence — both, flush first (Theorem 3).
+
+    The insertion point "immediately after the store" matters: the store's
+    address operand is necessarily still live there, so the inserted flush
+    can reuse it verbatim. *)
+
+open Hippo_pmir
+open Hippo_pmcheck
+
+exception Cannot_fix of string
+
+let cannot_fix fmt = Fmt.kstr (fun m -> raise (Cannot_fix m)) fmt
+
+let store_addr (prog : Program.t) (iid : Iid.t) : Value.t =
+  match Program.find_instr prog iid with
+  | Some i -> (
+      match Instr.op i with
+      | Instr.Store { addr; _ } -> addr
+      | _ -> cannot_fix "trace store event %a is not a store" Iid.pp iid)
+  | None -> cannot_fix "no instruction %a in program" Iid.pp iid
+
+(** Intraprocedural fixes for one bug, in insertion order. *)
+let fixes_for (prog : Program.t) (bug : Report.bug) : Fix.intra list =
+  let flush_fix () =
+    {
+      Fix.after = bug.store.iid;
+      action =
+        Fix.Add_flush
+          {
+            addr = store_addr prog bug.store.iid;
+            size = bug.store.size;
+            kind = Instr.Clwb;
+          };
+    }
+  in
+  match bug.kind with
+  | Report.Missing_flush -> [ flush_fix () ]
+  | Report.Missing_flush_fence ->
+      [
+        flush_fix ();
+        { Fix.after = bug.store.iid; action = Fix.Add_fence { kind = Instr.Sfence } };
+      ]
+  | Report.Missing_fence ->
+      let after =
+        match bug.ordering_flush with
+        | Some flush_iid -> flush_iid
+        | None ->
+            (* No flush recorded (e.g. a nontemporal store): order at the
+               store itself. *)
+            bug.store.iid
+      in
+      [ { Fix.after; action = Fix.Add_fence { kind = Instr.Sfence } } ]
+
+(** [phase1 prog bugs] computes, for each bug, its naive intraprocedural
+    fixes. Returns [(bug, fixes)] pairs. *)
+let phase1 prog (bugs : Report.bug list) : (Report.bug * Fix.intra list) list =
+  List.map (fun b -> (b, fixes_for prog b)) bugs

@@ -1,0 +1,32 @@
+(** Structured per-pass engine events.
+
+    Every pass execution produces one event: which pass ran, against
+    which program version, how long it took, and what it did (counters)
+    — the raw material for the per-phase breakdown tables in bench
+    output and for the JSON-lines trace files written by the CLI's
+    [--trace-out] flag. Events are plain data; rendering (JSON or a
+    formatted table) is separate so the same stream serves both. *)
+
+type t = {
+  pass : string;  (** pass name, e.g. ["locate"] *)
+  target : string;  (** the repair target's name *)
+  version : int;  (** program version the pass started from *)
+  dur_s : float;  (** wall-clock duration of the pass *)
+  counters : (string * int) list;  (** e.g. [("bugs", 3)] *)
+  notes : (string * string) list;  (** e.g. [("detector", "dynamic")] *)
+}
+
+(** One JSON object per event (no trailing newline):
+    [{"pass":…,"target":…,"version":…,"dur_s":…,"counters":{…},"notes":{…}}] *)
+val to_json : t -> string
+
+(** Write the events as JSON-lines, one event per line, in order. *)
+val write_jsonl : string -> t list -> unit
+
+(** Per-phase breakdown: aggregate the events by pass name (first-seen
+    order) and render runs, total/mean wall-clock time and the summed
+    counters as an aligned table. *)
+val pp_table : Format.formatter -> t list -> unit
+
+(** Sum of all pass durations, in seconds. *)
+val total_time : t list -> float

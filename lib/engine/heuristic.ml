@@ -1,0 +1,165 @@
+(** Phase 3: the hoisting heuristic (paper §4.3).
+
+    For every bug that needs a flush, the heuristic decides whether the
+    intraprocedural fix should be converted into an interprocedural one —
+    a persistent-subprogram transformation at a call site on the buggy
+    store's call stack — and at which level.
+
+    Candidate locations, innermost first: the PM-modifying store itself,
+    then the call site of every frame strictly below the frame of the
+    crash-point function (fixing at or above the crash frame would require
+    an extra fence before the crash point, §4.2.4). Each candidate gets a
+    score: persistent aliases minus volatile aliases of its pointer
+    argument(s); call sites passing no pointer arguments score -inf and cut
+    off all outer candidates. The highest score wins; ties go to the
+    innermost candidate, so a hoist happens only when it strictly reduces
+    the chance of flushing volatile data. *)
+
+open Hippo_pmir
+open Hippo_pmcheck
+
+type call_target = { call_site : Iid.t; callee : string; depth : int }
+
+type candidate = At_store | At_call of call_target
+
+type decision = {
+  bug : Report.bug;
+  choice : candidate;
+  scores : (candidate * int) list;  (** considered candidates with scores *)
+}
+
+(** Call-site candidates from the bug's stacks, innermost first. A frame
+    contributes the call site that created it (located in its caller);
+    frames at or above the crash-point function are excluded. *)
+let call_candidates (bug : Report.bug) : (Iid.t * string) list =
+  let crash_fn = Option.map Iid.func bug.crash.crash_iid in
+  let rec walk acc = function
+    | [] -> List.rev acc
+    | (f : Trace.frame) :: rest -> (
+        if crash_fn = Some f.Trace.func then List.rev acc
+        else
+          match f.Trace.callsite with
+          | Some cs -> walk ((cs, f.Trace.func) :: acc) rest
+          | None -> List.rev acc)
+  in
+  walk [] bug.store.stack
+
+let decide (oracle : Hippo_alias.Oracle.t) (prog : Program.t)
+    (bug : Report.bug) : decision =
+  let store_site_score =
+    Option.value (oracle.store_score prog bug.store.iid) ~default:0
+  in
+  let calls = call_candidates bug in
+  (* Score call sites inward-out; a score of -inf (no pointer arguments)
+     cuts off that candidate and every outer one. *)
+  let rec score_calls depth acc = function
+    | [] -> List.rev acc
+    | (cs, callee) :: rest -> (
+        match oracle.call_score prog cs with
+        | None -> List.rev acc
+        | Some s ->
+            score_calls (depth + 1)
+              ((At_call { call_site = cs; callee; depth }, s) :: acc)
+              rest)
+  in
+  let scores = (At_store, store_site_score) :: score_calls 1 [] calls in
+  (* Highest score wins; first (innermost) among equals. *)
+  let choice, _ =
+    List.fold_left
+      (fun (bc, bs) (c, s) -> if s > bs then (c, s) else (bc, bs))
+      (At_store, store_site_score) scores
+  in
+  { bug; choice; scores }
+
+(** [phase3 oracle prog reduced] partitions the reduced fixes: flush fixes
+    whose every bug hoists become {!Fix.Hoist} fixes; everything else stays
+    intraprocedural. Returns the final plan. *)
+let phase3 (oracle : Hippo_alias.Oracle.t) (prog : Program.t)
+    (reduced : Reduce.reduced list) : Fix.plan * decision list =
+  (* One decision per distinct static bug (store + call chain). *)
+  let decisions = ref [] in
+  let decision_for (bug : Report.bug) =
+    match
+      List.find_opt (fun d -> Report.same_static_bug d.bug bug) !decisions
+    with
+    | Some d -> d
+    | None ->
+        let d = decide oracle prog bug in
+        decisions := d :: !decisions;
+        d
+  in
+  let hoisted_bug (bug : Report.bug) =
+    match bug.kind with
+    | Report.Missing_fence -> None (* fence-only fixes are never hoisted *)
+    | Report.Missing_flush | Report.Missing_flush_fence -> (
+        match (decision_for bug).choice with
+        | At_store -> None
+        | At_call h -> Some h)
+  in
+  let fixes = ref [] in
+  let shapes : (Report.bug * Fix.shape) list ref = ref [] in
+  let add_fix f = if not (List.exists (Fix.equal f) !fixes) then fixes := f :: !fixes in
+  (* Per-bug shape bookkeeping. *)
+  let note_shape bug shape =
+    if
+      not
+        (List.exists
+           (fun (b, _) -> Report.same_static_bug b bug)
+           !shapes)
+    then shapes := (bug, shape) :: !shapes
+  in
+  List.iter
+    (fun (r : Reduce.reduced) ->
+      let staying_bugs =
+        List.filter (fun b -> hoisted_bug b = None) r.bugs
+      in
+      (* Emit hoists for the bugs that leave. *)
+      List.iter
+        (fun b ->
+          match hoisted_bug b with
+          | Some { call_site; callee; depth } ->
+              add_fix (Fix.Hoist { call_site; callee; depth });
+              note_shape b (Fix.Shape_interprocedural depth)
+          | None -> ())
+        r.bugs;
+      (* Keep the intra fix if any bug still relies on it. *)
+      if staying_bugs <> [] then begin
+        add_fix (Fix.Intra r.fix);
+        List.iter
+          (fun (b : Report.bug) ->
+            note_shape b
+              (match b.Report.kind with
+              | Report.Missing_flush -> Fix.Shape_intra_flush
+              | Report.Missing_fence -> Fix.Shape_intra_fence
+              | Report.Missing_flush_fence -> Fix.Shape_intra_flush_fence))
+          staying_bugs
+      end)
+    reduced;
+  let plan = { Fix.fixes = List.rev !fixes; per_bug = List.rev !shapes } in
+  (plan, List.rev !decisions)
+
+(** Phase 3 disabled: every fix stays intraprocedural (the Redis_H-intra
+    configuration of §6.3). *)
+let phase3_disabled (reduced : Reduce.reduced list) : Fix.plan =
+  let fixes = List.map (fun (r : Reduce.reduced) -> Fix.Intra r.fix) reduced in
+  let shapes =
+    List.concat_map
+      (fun (r : Reduce.reduced) ->
+        List.map
+          (fun (b : Report.bug) ->
+            ( b,
+              match b.Report.kind with
+              | Report.Missing_flush -> Fix.Shape_intra_flush
+              | Report.Missing_fence -> Fix.Shape_intra_fence
+              | Report.Missing_flush_fence -> Fix.Shape_intra_flush_fence ))
+          r.bugs)
+      reduced
+  in
+  let dedup =
+    List.fold_left
+      (fun acc (b, s) ->
+        if List.exists (fun (b', _) -> Report.same_static_bug b b') acc then acc
+        else (b, s) :: acc)
+      [] shapes
+  in
+  { Fix.fixes; per_bug = List.rev dedup }

@@ -1,0 +1,25 @@
+(* Named, timed pipeline passes over the shared context. *)
+
+type t = {
+  name : string;
+  run : Context.t -> (string * int) list * (string * string) list;
+}
+
+let make name run = { name; run }
+
+let execute (ctx : Context.t) pass =
+  let version = Context.version ctx in
+  let started = Unix_time.now () in
+  let counters, notes = pass.run ctx in
+  let dur_s = Unix_time.now () -. started in
+  Context.emit ctx
+    {
+      Event.pass = pass.name;
+      target = ctx.Context.target;
+      version;
+      dur_s;
+      counters;
+      notes;
+    }
+
+let run_all ctx passes = List.iter (execute ctx) passes

@@ -1,0 +1,22 @@
+(** The pass abstraction.
+
+    A pass is a named unit of pipeline work over the shared
+    {!Context.t}: it reads what earlier passes produced, mutates the
+    context, and returns counters describing what it did. The runner
+    times every pass and emits one structured {!Event.t} per execution,
+    so ordering, timing and provenance are uniform across all pipeline
+    variants instead of hand-coded per driver entry point. *)
+
+type t = {
+  name : string;
+  run : Context.t -> (string * int) list * (string * string) list;
+      (** mutate the context; return (counters, notes) for the event *)
+}
+
+val make : string -> (Context.t -> (string * int) list * (string * string) list) -> t
+
+(** Run one pass: record the start version, time [run], emit the event. *)
+val execute : Context.t -> t -> unit
+
+(** Run the passes in order. *)
+val run_all : Context.t -> t list -> unit

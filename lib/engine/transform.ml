@@ -1,0 +1,163 @@
+(** The persistent-subprogram transformation (paper §4.2.4, Theorem 4).
+
+    [hoist] duplicates the callee of a chosen call site as a persistent
+    subprogram: in the clone, every store that may modify PM is followed by
+    a flush of its own address, and every call to a (transitively)
+    PM-modifying function is retargeted to that function's persistent
+    clone. A single fence is inserted after the transformed call site, so
+    every PM modification made anywhere inside the subprogram satisfies
+    [X -> F(X) -> M -> I].
+
+    Clones are cached and shared across transformations (the paper's
+    [update_PM] reuse), which keeps the code-size impact negligible —
+    experiment E8 measures exactly this. *)
+
+open Hippo_pmir
+
+type ctx = {
+  mutable prog : Program.t;
+  oracle : Hippo_alias.Oracle.t;
+  base : Program.t;  (** the pre-transformation program the oracle knows *)
+  mutable clones : (string * string) list;  (** original -> clone name *)
+  mutable instrs_added : int;
+  mutable funcs_added : int;
+  reuse : bool;  (** share clones across hoists (ablation A1 disables) *)
+}
+
+let create ?(reuse = true) ~oracle prog =
+  {
+    prog;
+    oracle;
+    base = prog;
+    clones = [];
+    instrs_added = 0;
+    funcs_added = 0;
+    reuse;
+  }
+
+let clone_name ctx original =
+  let base = original ^ "_PM" in
+  if not (Program.mem ctx.prog base) then base
+  else begin
+    let rec next k =
+      let n = Fmt.str "%s%d" base k in
+      if Program.mem ctx.prog n then next (k + 1) else n
+    in
+    next 2
+  end
+
+(** Does [fname] (transitively) contain a store that may modify PM? Only
+    such callees need persistent versions. *)
+let may_modify_pm ctx fname =
+  let memo = Hashtbl.create 16 in
+  let rec go fname visiting =
+    match Hashtbl.find_opt memo fname with
+    | Some v -> v
+    | None ->
+        if List.mem fname visiting then false
+        else begin
+          let result =
+            match Program.find ctx.base fname with
+            | None -> false
+            | Some f ->
+                List.exists
+                  (fun (i : Instr.t) ->
+                    match Instr.op i with
+                    | Instr.Store _ ->
+                        ctx.oracle.store_may_touch_pm ctx.base (Instr.iid i)
+                    | Instr.Call { callee; _ } ->
+                        (not (Program.is_intrinsic callee))
+                        && go callee (fname :: visiting)
+                    | _ -> false)
+                  (Func.instrs f)
+          in
+          Hashtbl.replace memo fname result;
+          result
+        end
+  in
+  go fname []
+
+(** Build (or reuse) the persistent clone of [original]; returns its name. *)
+let rec ensure_clone ctx original : string =
+  match List.assoc_opt original ctx.clones with
+  | Some c -> c
+  | None ->
+      let cname = clone_name ctx original in
+      ctx.clones <- (original, cname) :: ctx.clones;
+      let f = Program.find_exn ctx.prog original in
+      let clone, mapping = Clone.func ~new_name:cname f in
+      (* Invert the mapping: judgements are keyed on original identities. *)
+      let back = Iid.Tbl.create 64 in
+      Iid.Tbl.iter (fun orig cl -> Iid.Tbl.replace back cl orig) mapping;
+      let orig_iid i =
+        match Iid.Tbl.find_opt back (Instr.iid i) with
+        | Some o -> o
+        | None -> Instr.iid i
+      in
+      let clone =
+        Func.map_instrs
+          (fun i ->
+            match Instr.op i with
+            | Instr.Store { addr; _ }
+              when ctx.oracle.store_may_touch_pm ctx.base (orig_iid i) ->
+                let flush =
+                  Instr.make
+                    ~iid:(Iid.fresh ~func:cname)
+                    ~loc:(Instr.loc i)
+                    (Instr.Flush { kind = Instr.Clwb; addr })
+                in
+                ctx.instrs_added <- ctx.instrs_added + 1;
+                [ i; flush ]
+            | Instr.Call { dst; callee; args }
+              when (not (Program.is_intrinsic callee))
+                   && may_modify_pm ctx callee ->
+                let callee' = ensure_clone ctx callee in
+                [ Instr.with_op i (Instr.Call { dst; callee = callee'; args }) ]
+            | _ -> [ i ])
+          clone
+      in
+      ctx.prog <- Program.add_func ctx.prog clone;
+      ctx.funcs_added <- ctx.funcs_added + 1;
+      ctx.instrs_added <- ctx.instrs_added + List.length (Func.instrs clone);
+      cname
+
+(** Apply one hoist fix: retarget the call site to the persistent clone and
+    fence immediately after it. *)
+let hoist ctx (h : Fix.hoist) =
+  (* Without clone reuse (ablation A1) each hoist rebuilds its own
+     subprogram copies; the cache is still used within one hoist to
+     terminate on recursive subprograms. *)
+  if not ctx.reuse then ctx.clones <- [];
+  let fname = Iid.func h.call_site in
+  let f = Program.find_exn ctx.prog fname in
+  let applied = ref false in
+  let f' =
+    Func.map_instrs
+      (fun i ->
+        if Iid.equal (Instr.iid i) h.call_site then (
+          match Instr.op i with
+          | Instr.Call { dst; callee; args } ->
+              applied := true;
+              let callee' = ensure_clone ctx callee in
+              let call =
+                Instr.with_op i (Instr.Call { dst; callee = callee'; args })
+              in
+              let fence =
+                Instr.make
+                  ~iid:(Iid.fresh ~func:fname)
+                  ~loc:(Instr.loc i)
+                  (Instr.Fence { kind = Instr.Sfence })
+              in
+              ctx.instrs_added <- ctx.instrs_added + 1;
+              [ call; fence ]
+          | _ ->
+              invalid_arg
+                (Fmt.str "Transform.hoist: %a is not a call site" Iid.pp
+                   h.call_site))
+        else [ i ])
+      f
+  in
+  if not !applied then
+    invalid_arg
+      (Fmt.str "Transform.hoist: call site %a not found" Iid.pp h.call_site);
+  ctx.prog <- Program.update ctx.prog f'

@@ -1,0 +1,53 @@
+(** Post-repair validation (§6.1's methodology).
+
+    Two checks, both executable counterparts of the paper's guarantees:
+
+    - {e effectiveness}: re-running the bug finder on the repaired program
+      under the same workload reports zero durability bugs;
+    - {e do no harm}: on the bug-free execution, the repaired program is
+      observationally identical to the original — same emitted outputs,
+      same return values, same final working PM contents. Flush and fence
+      insertion must not change program state (paper §4.2 definitions);
+      this check would catch any violation. *)
+
+open Hippo_pmir
+open Hippo_pmcheck
+
+type outcome = {
+  residual_bugs : Report.bug list;
+  outputs_match : bool;
+  pm_working_match : bool;
+  crash_consistent_improved : bool option;
+      (** set by callers that also run crash simulation *)
+}
+
+let harm_free o = o.outputs_match && o.pm_working_match
+
+let effective o = o.residual_bugs = []
+
+let check ~(workload : Interp.t -> unit) ~(config : Interp.config)
+    ~(original : Program.t) ~(repaired : Program.t) : outcome =
+  let run prog =
+    let t = Interp.create config prog in
+    (try workload t
+     with Interp.Stopped_at_crash -> ());
+    Interp.exit_check t;
+    t
+  in
+  let t0 = run original in
+  let t1 = run repaired in
+  {
+    residual_bugs = Interp.bugs t1;
+    outputs_match = Interp.output t0 = Interp.output t1;
+    pm_working_match =
+      Bytes.equal
+        (Mem.working_image (Interp.mem t0))
+        (Mem.working_image (Interp.mem t1));
+    crash_consistent_improved = None;
+  }
+
+let pp ppf o =
+  Fmt.pf ppf "residual bugs: %d; outputs %s; PM state %s"
+    (List.length o.residual_bugs)
+    (if o.outputs_match then "match" else "DIFFER")
+    (if o.pm_working_match then "match" else "DIFFERS")

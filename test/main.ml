@@ -9,6 +9,7 @@ let () =
       ("alias", Test_alias.suite);
       ("fixes", Test_fixes.suite);
       ("driver", Test_driver.suite);
+      ("engine", Test_engine.suite);
       ("staticcheck", Test_staticcheck.suite);
       ("corpus", Test_corpus.suite);
       ("apps", Test_apps.suite);
