@@ -1,4 +1,4 @@
-.PHONY: all build check test bench bench-static trace-demo clean fmt
+.PHONY: all build check test bench bench-static bench-par trace-demo clean fmt
 
 all: build
 
@@ -16,6 +16,11 @@ bench:
 
 bench-static:
 	dune exec bench/main.exe -- table_static
+
+# Corpus-sweep wall-clock scaling over worker domains (jobs 1/2/4),
+# with a cross-check that parallel sweeps reproduce the serial plans.
+bench-par:
+	dune exec bench/main.exe -- table_par
 
 # One corpus case end to end with engine tracing: JSON-lines events to
 # trace-demo.jsonl, per-phase timing breakdown on stderr.

@@ -17,7 +17,13 @@
      bench/main.exe ablate_heuristic— A3: cost-model robustness
      bench/main.exe table_main      — per-phase engine timing breakdown
                                       (ablation sweep, shared analysis cache)
-     bench/main.exe micro           — bechamel micro-benchmarks *)
+     bench/main.exe table_par       — corpus-sweep wall-clock scaling over
+                                      worker domains (jobs 1 vs 2 vs 4)
+     bench/main.exe micro           — bechamel micro-benchmarks
+
+   `--jobs N` sets the domain budget for every corpus sweep (default:
+   HIPPO_JOBS or the machine's recommended domain count). `--jobs 1` is
+   byte-identical to the historical serial harness. *)
 
 open Hippo_pmir
 open Hippo_pmcheck
@@ -26,6 +32,11 @@ open Hippo_pmdk_mini
 open Hippo_apps
 
 let section title = Fmt.pr "@.=== %s ===@." title
+
+module Sweep = Hippo_bugstudy.Sweep
+
+(* Domain budget for every corpus sweep; set by --jobs. *)
+let jobs = ref (Hippo_parallel.Pool.default_domains ())
 
 (* ------------------------------------------------------------------ *)
 (* E1 — Fig. 1: the 26-bug study *)
@@ -53,16 +64,16 @@ let table_effectiveness () =
   section "§6.1 — effectiveness: fix all 23 reproduced bugs";
   let all_ok = ref true in
   let pmdk_ok = ref 0 in
+  let pmdk_results, _cache = Sweep.corpus ~jobs:!jobs Bugs.all in
   List.iter
-    (fun case ->
-      let r = repair_case case in
+    (fun (_, r) ->
       let ok =
         r.Driver.bugs <> []
         && Verify.effective r.Driver.verification
         && Verify.harm_free r.Driver.verification
       in
       if ok then incr pmdk_ok else all_ok := false)
-    Bugs.all;
+    pmdk_results;
   Fmt.pr "  %-22s bugs: %2d (expected 11)   repaired+verified: %s@."
     "PMDK (unit tests)" !pmdk_ok
     (if !pmdk_ok = 11 then "yes" else "NO");
@@ -94,20 +105,23 @@ let table_heuristics () =
     Bugs.all @ [ List.hd Pclht.cases; List.hd Memcached_mini.cases ]
   in
   let identical = ref 0 in
-  List.iter
-    (fun (case : Case.t) ->
-      let sig_of oracle =
-        let r =
-          repair_case ~options:{ Driver.default_options with oracle } case
-        in
-        List.sort String.compare
-          (List.map Fix.to_string r.Driver.plan.Fix.fixes)
-      in
-      let same = sig_of Driver.Full_aa = sig_of Driver.Trace_aa in
+  let sweep_with oracle =
+    fst
+      (Sweep.corpus
+         ~options:{ Driver.default_options with oracle }
+         ~jobs:!jobs all_cases)
+  in
+  let sig_of (_, (r : Driver.result)) =
+    List.sort String.compare (List.map Fix.to_string r.Driver.plan.Fix.fixes)
+  in
+  List.iter2
+    (fun ((case, _) as full) trace ->
+      let same = sig_of full = sig_of trace in
       if same then incr identical;
       Fmt.pr "  %-14s %s@." case.Case.id
         (if same then "identical" else "DIFFERENT"))
-    all_cases;
+    (sweep_with Driver.Full_aa)
+    (sweep_with Driver.Trace_aa);
   Fmt.pr "  %d/%d subjects with identical fix sets (paper: all)@." !identical
     (List.length all_cases)
 
@@ -119,8 +133,7 @@ let fig3 () =
     "comparison";
   let identical = ref 0 and equivalent = ref 0 in
   List.iter
-    (fun (case : Case.t) ->
-      let r = repair_case case in
+    (fun ((case : Case.t), (r : Driver.result)) ->
       let shape =
         match
           List.find_opt
@@ -145,7 +158,7 @@ let fig3 () =
         shape
         (Fmt.str "%a" Case.pp_dev_fix case.Case.dev_fix)
         comparison)
-    Bugs.all;
+    (fst (Sweep.corpus ~jobs:!jobs Bugs.all));
   Fmt.pr
     "  functionally identical: %d/11 (paper: 8/11); equivalent: %d/11 \
      (paper: 3/11)@."
@@ -234,7 +247,7 @@ let fig5 () =
       r.Driver.trace_events r.Driver.time_s
       (r.Driver.peak_heap_bytes / (1024 * 1024))
   in
-  let pmdk_results = List.map repair_case Bugs.all in
+  let pmdk_results = List.map snd (fst (Sweep.corpus ~jobs:!jobs Bugs.all)) in
   let instrs, events, time, mem =
     List.fold_left
       (fun (instrs, events, time, mem) (r : Driver.result) ->
@@ -301,14 +314,15 @@ let ablate_reuse () =
 
 let ablate_reduction () =
   section "A2 — fix reduction (Phase 2) on vs off";
-  List.iter
-    (fun (case : Case.t) ->
-      let on = repair_case case in
-      let off =
-        repair_case
-          ~options:{ Driver.default_options with reduction = false }
-          case
-      in
+  let cases = Bugs.all @ [ List.hd Pclht.cases; List.hd Memcached_mini.cases ] in
+  let ons, _ = Sweep.corpus ~jobs:!jobs cases in
+  let offs, _ =
+    Sweep.corpus
+      ~options:{ Driver.default_options with reduction = false }
+      ~jobs:!jobs cases
+  in
+  List.iter2
+    (fun ((case : Case.t), (on : Driver.result)) (_, (off : Driver.result)) ->
       Fmt.pr
         "  %-14s raw fixes: %2d; with reduction: %2d applied; without: %2d \
          applied; both clean: %b@."
@@ -317,7 +331,7 @@ let ablate_reduction () =
         (List.length off.Driver.plan.Fix.fixes)
         (Verify.effective on.Driver.verification
         && Verify.effective off.Driver.verification))
-    (Bugs.all @ [ List.hd Pclht.cases; List.hd Memcached_mini.cases ])
+    ons offs
 
 (* A3 — ablation: cost-model robustness *)
 
@@ -534,12 +548,63 @@ let table_main () =
           computed once, not once per configuration)@."
     (Hippo_engine.Cache.andersen_runs cache)
 
-let () =
-  let args = Array.to_list Sys.argv in
-  let full = List.mem "--full" args in
-  let cmds =
-    List.filteri (fun k a -> k > 0 && a <> "--full") args
+(* E10 — corpus-sweep scaling over worker domains *)
+
+let table_par () =
+  section "parallel — corpus-sweep wall-clock scaling over worker domains";
+  let cases =
+    Bugs.all @ [ List.hd Pclht.cases; List.hd Memcached_mini.cases ]
   in
+  (* force once up front so no run pays the one-time program construction *)
+  List.iter (fun (c : Case.t) -> ignore (Lazy.force c.Case.program)) cases;
+  let plan_sig results =
+    List.concat_map
+      (fun (_, (r : Driver.result)) ->
+        List.map Fix.to_string r.Driver.plan.Fix.fixes)
+      results
+  in
+  let run jobs =
+    (* wall clock, not Sys.time: CPU time sums over domains and would hide
+       any speedup *)
+    let t0 = Unix.gettimeofday () in
+    let results, cache = Sweep.corpus ~jobs cases in
+    (Unix.gettimeofday () -. t0, results, cache)
+  in
+  Fmt.pr "  %d cases; recommended domain count on this host: %d@."
+    (List.length cases)
+    (Domain.recommended_domain_count ());
+  let base_t, base_r, _ = run 1 in
+  Fmt.pr "  jobs %2d: %7.3fs  %7s  (baseline)@." 1 base_t "1.00x";
+  List.iter
+    (fun jobs ->
+      let t, r, cache = run jobs in
+      Fmt.pr "  jobs %2d: %7.3fs  %6.2fx  (plans %s baseline; %d analysis \
+              computes across worker caches)@."
+        jobs t (base_t /. t)
+        (if plan_sig r = plan_sig base_r then "identical to" else "DIFFER from")
+        (List.fold_left
+           (fun acc (_, c, _) -> acc + c)
+           0
+           (Hippo_engine.Cache.stats cache)))
+    [ 2; 4 ];
+  Fmt.pr
+    "  (speedup tracks physical cores: a 1-core host pins every row near \
+     1.00x, a 4-core host should reach >= 2x at jobs 4)@."
+
+let () =
+  let args = Array.to_list (Array.sub Sys.argv 1 (Array.length Sys.argv - 1)) in
+  let full = List.mem "--full" args in
+  (* consume "--jobs N"; everything else left in place *)
+  let rec strip_jobs = function
+    | "--jobs" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some k when k >= 1 -> jobs := k
+        | _ -> Fmt.epr "--jobs expects a positive integer, got %S@." n);
+        strip_jobs rest
+    | a :: rest -> a :: strip_jobs rest
+    | [] -> []
+  in
+  let cmds = List.filter (fun a -> a <> "--full") (strip_jobs args) in
   let run_all () =
     fig1 ();
     table_effectiveness ();
@@ -554,6 +619,7 @@ let () =
     ablate_reduction ();
     ablate_heuristic ();
     table_main ();
+    table_par ();
     micro ()
   in
   match cmds with
@@ -574,6 +640,7 @@ let () =
           | "ablate_reduction" -> ablate_reduction ()
           | "ablate_heuristic" -> ablate_heuristic ()
           | "table_main" -> table_main ()
+          | "table_par" -> table_par ()
           | "micro" -> micro ()
           | other -> Fmt.epr "unknown experiment %S@." other)
         cmds

@@ -65,6 +65,16 @@ let entry_args_arg =
 
 let exits = [ Cmd.Exit.info 1 ~doc:"on failure" ]
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Hippo_parallel.Pool.default_domains ())
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Domain budget for parallel phases (verification and crash \
+              sweeps). Defaults to $(b,HIPPO_JOBS) when set, otherwise the \
+              machine's recommended domain count. $(b,--jobs 1) is fully \
+              serial, with byte-identical output.")
+
 type trace_format = Pmemcheck | Pmtest
 
 let format_arg =
@@ -98,8 +108,45 @@ let check_cmd =
                 workload: abstract interpretation from $(b,--entry) (or \
                 the program's roots), no trace events or site statistics.")
   in
-  let run prog_path entry args trace_out format static =
+  let crash_sweep_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "crash-sweep" ] ~docv:"CHECKER"
+          ~doc:"After the bug scan, enumerate every crash point of the \
+                workload; for each, recover the pessimistic (durable) and \
+                lucky (fully-evicted) crash images by calling $(docv) — a \
+                function in the program that returns nonzero when the \
+                recovered state satisfies the application invariant. Crash \
+                points are independent scenarios and fan out across \
+                $(b,--jobs) worker domains.")
+  in
+  let run prog_path entry args trace_out format static crash_sweep jobs =
     let ( let* ) = Result.bind in
+    let crash_sweep_check prog ~args =
+      match crash_sweep with
+      | None -> Ok 0
+      | Some checker when not (Program.mem prog checker) ->
+          Error (Fmt.str "--crash-sweep: no function %S in the program" checker)
+      | Some checker ->
+          let verdicts =
+            Crashsim.sweep ~jobs:(max 1 jobs) prog
+              ~setup:[ (entry, args) ]
+              ~checker ~checker_args:[]
+          in
+          List.iter
+            (fun (v : Crashsim.verdict) ->
+              Fmt.pr "  crash point %2d: pessimistic %s, lucky %s@."
+                v.Crashsim.crash_index
+                (if v.Crashsim.pessimistic_ok then "recovers" else "LOST")
+                (if v.Crashsim.lucky_ok then "recovers" else "LOST"))
+            verdicts;
+          let ok = List.filter Crashsim.consistent verdicts in
+          Fmt.pr "crash consistent: %s (%d/%d crash points recover)@."
+            (if List.length ok = List.length verdicts then "yes" else "NO")
+            (List.length ok) (List.length verdicts);
+          Ok (if List.length ok = List.length verdicts then 0 else 1)
+    in
     let static_check prog =
       let r = Driver.check_static ?entries:(static_entries prog ~entry) prog in
       Fmt.pr "static analysis: %d entr%s, %d summaries (%d reused)@."
@@ -127,6 +174,11 @@ let check_cmd =
     let result =
       let* prog = read_program prog_path in
       let* () = validate_or_die prog in
+      let* () =
+        if static && crash_sweep <> None then
+          Error "--crash-sweep needs a dynamic workload; drop --static"
+        else Ok ()
+      in
       if static then static_check prog
       else
       let* args = parse_args args in
@@ -162,7 +214,8 @@ let check_cmd =
           close_out oc;
           Fmt.pr "trace written to %s@." path
       | None -> ());
-      Ok (if bugs = [] then 0 else 1)
+      let* sweep_code = crash_sweep_check prog ~args in
+      Ok (if bugs = [] && sweep_code = 0 then 0 else 1)
     in
     match result with
     | Ok code -> code
@@ -173,10 +226,11 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check" ~exits
        ~doc:"Run the pmemcheck-style durability bug finder (or, with \
-             $(b,--static), the workload-free static analyzer).")
+             $(b,--static), the workload-free static analyzer); optionally \
+             follow with a crash-point recovery sweep ($(b,--crash-sweep)).")
     Term.(
       const run $ prog_arg $ entry_arg $ entry_args_arg $ trace_out
-      $ format_arg $ static_flag)
+      $ format_arg $ static_flag $ crash_sweep_arg $ jobs_arg)
 
 (* fix --------------------------------------------------------------- *)
 
@@ -283,7 +337,7 @@ let fix_cmd =
                 $(b,both) (union of the two). Ignored with $(b,--trace).")
   in
   let run prog_path entry args trace_in output no_hoist oracle_choice format
-      portable diff detector trace_out =
+      portable diff detector trace_out jobs =
     let ( let* ) = Result.bind in
     let result =
       let* prog = read_program prog_path in
@@ -297,6 +351,7 @@ let fix_cmd =
           hoisting = not no_hoist;
           oracle = oracle_choice;
           style = (if portable then Apply.Portable else Apply.Direct);
+          jobs = max 1 jobs;
         }
       in
       let* repaired, report =
@@ -382,7 +437,7 @@ let fix_cmd =
     Term.(
       const run $ prog_arg $ entry_arg $ entry_args_arg $ trace_in $ output
       $ no_hoist $ oracle_choice $ format_arg $ portable_flag $ diff_flag
-      $ detector_arg $ trace_out)
+      $ detector_arg $ trace_out $ jobs_arg)
 
 (* run --------------------------------------------------------------- *)
 

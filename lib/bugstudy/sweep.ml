@@ -1,0 +1,53 @@
+(* Domain-parallel corpus sweeps. See the interface for the cache and
+   determinism story. *)
+
+open Hippo_pmdk_mini
+open Hippo_core
+module Cache = Hippo_engine.Cache
+module Pool = Hippo_parallel.Pool
+
+(* Case programs are lazy; Lazy.force is not safe to race from several
+   domains (a concurrent force can observe Lazy.Undefined). Forcing
+   serially before fan-out also keeps instruction-identity allocation
+   independent of task scheduling. *)
+let force_programs cases =
+  List.iter (fun (c : Case.t) -> ignore (Lazy.force c.Case.program)) cases
+
+let sweep ?(jobs = 1) ~f cases =
+  force_programs cases;
+  if jobs <= 1 then (
+    let cache = Cache.create () in
+    let results = List.map (fun c -> f ~cache c) cases in
+    (results, cache))
+  else (
+    (* Every worker domain memoizes into its own cache, created lazily on
+       the domain's first task and recorded under a mutex so the caches
+       can be folded together afterwards. *)
+    let registry = ref [] in
+    let registry_mutex = Mutex.create () in
+    let per_domain =
+      Domain.DLS.new_key (fun () ->
+          let cache = Cache.create () in
+          Mutex.lock registry_mutex;
+          registry := cache :: !registry;
+          Mutex.unlock registry_mutex;
+          cache)
+    in
+    let results =
+      Pool.run ~domains:jobs (fun pool ->
+          Pool.map pool (fun c -> f ~cache:(Domain.DLS.get per_domain) c) cases)
+    in
+    let aggregate = Cache.create () in
+    List.iter (fun c -> Cache.merge_stats ~into:aggregate c) (List.rev !registry);
+    (results, aggregate))
+
+let corpus ?options ?jobs cases =
+  sweep ?jobs
+    ~f:(fun ~cache (case : Case.t) ->
+      let result =
+        Driver.repair ?options ~cache ~name:case.Case.id
+          ~workload:case.Case.workload
+          (Lazy.force case.Case.program)
+      in
+      (case, result))
+    cases

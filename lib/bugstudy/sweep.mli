@@ -1,0 +1,39 @@
+(** Domain-parallel corpus sweeps: one repair (or any per-case
+    computation) per pool task, with analysis-cache sharing that stays
+    safe under parallelism.
+
+    The PR 2 analysis {!Hippo_engine.Cache.t} is single-domain mutable
+    state; sharing one instance across worker domains would race. The
+    sweep therefore gives every worker domain its {e own} cache
+    (domain-local storage, created on first use) and, after all tasks
+    settle, folds the per-domain counters into one aggregate cache —
+    read-only merging, for reporting only ({!Hippo_engine.Cache.merge_stats}).
+
+    Determinism: case programs are forced {e serially} before fan-out (so
+    instruction-identity allocation does not depend on scheduling), tasks
+    are pure per-case computations, and results come back in submission
+    order — a sweep at any [~jobs] prints byte-identically to [~jobs:1]. *)
+
+open Hippo_pmdk_mini
+open Hippo_core
+
+(** [sweep ?jobs ~f cases] runs [f ~cache case] for every case across a
+    [jobs]-wide domain pool (default 1 — fully serial, no domains
+    spawned). [cache] is the calling domain's private analysis cache:
+    tasks that land on the same domain share it. Returns the per-case
+    results in corpus order plus the aggregate cache (merged counters of
+    every per-domain cache). *)
+val sweep :
+  ?jobs:int ->
+  f:(cache:Hippo_engine.Cache.t -> Case.t -> 'a) ->
+  Case.t list ->
+  'a list * Hippo_engine.Cache.t
+
+(** [corpus ?options ?jobs cases] repairs every case (the standard
+    end-to-end sweep: each task runs the full locate→…→verify pipeline on
+    its case's own program and workload). *)
+val corpus :
+  ?options:Driver.options ->
+  ?jobs:int ->
+  Case.t list ->
+  (Case.t * Driver.result) list * Hippo_engine.Cache.t

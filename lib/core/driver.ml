@@ -25,6 +25,7 @@ type options = E.Context.options = {
   reduction : bool;  (** Phase 2 on/off (ablation A2) *)
   clone_reuse : bool;  (** share persistent subprograms (ablation A1) *)
   style : Apply.style;  (** raw clwb/sfence vs portable libpmem calls *)
+  jobs : int;  (** domain budget for parallel passes; 1 = fully serial *)
 }
 
 let default_options = E.Context.default_options

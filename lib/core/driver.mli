@@ -30,6 +30,11 @@ type options = Hippo_engine.Context.options = {
   reduction : bool;  (** Phase 2 on/off (ablation A2) *)
   clone_reuse : bool;  (** share persistent subprograms (ablation A1) *)
   style : Apply.style;  (** raw clwb/sfence vs portable libpmem calls *)
+  jobs : int;
+      (** domain budget for parallel passes (the verify pass runs the
+          original and repaired workload executions concurrently when
+          [jobs > 1]); 1 (the default) keeps the pipeline fully serial
+          and byte-identical to the historical single-domain behavior *)
 }
 
 val default_options : options

@@ -106,6 +106,21 @@ let static_check ?entries v =
 
 let andersen_runs t = (counter t "andersen").computes
 
+(* Read-only aggregation across a parallel sweep: each worker domain
+   memoizes into its own cache; afterwards the per-domain counters and
+   version counts are folded into one cache for reporting. Entries are
+   not transferred — version numbers are only unique within the cache
+   that minted them, so the merged cache is a statistics sink, never a
+   memoization source. *)
+let merge_stats ~into src =
+  into.next_version <- into.next_version + src.next_version;
+  List.iter
+    (fun name ->
+      let a = counter into name and b = counter src name in
+      a.computes <- a.computes + b.computes;
+      a.hits <- a.hits + b.hits)
+    into.slot_order
+
 let stats t =
   List.map
     (fun n ->

@@ -15,6 +15,9 @@ type options = {
   reduction : bool;  (** Phase 2 on/off (ablation A2) *)
   clone_reuse : bool;  (** share persistent subprograms (ablation A1) *)
   style : Apply.style;  (** raw clwb/sfence vs portable libpmem calls *)
+  jobs : int;
+      (** domain budget for parallel passes (verify); 1 = fully serial,
+          byte-identical to the historical single-domain pipeline *)
 }
 
 let default_options =
@@ -24,6 +27,7 @@ let default_options =
     reduction = true;
     clone_reuse = true;
     style = Apply.Direct;
+    jobs = 1;
   }
 
 type t = {

@@ -111,8 +111,17 @@ let apply_ =
         ],
         [] ))
 
+(* The one parallel pass: with [options.jobs > 1] the original and
+   repaired workload executions run on separate domains (independent
+   interpreter instances over immutable programs); results are collected
+   in a fixed order, so the outcome is identical to the serial run. *)
+let verify_jobs (ctx : Context.t) =
+  match ctx.Context.workload with
+  | Some _ -> min 2 ctx.Context.options.Context.jobs
+  | None -> 1
+
 let verify_ =
-  Pass.make "verify" (fun ctx ->
+  Pass.make ~parallel:verify_jobs "verify" (fun ctx ->
       let open Context in
       let repaired =
         match ctx.repaired with
@@ -122,7 +131,7 @@ let verify_ =
       match ctx.workload with
       | Some workload ->
           let outcome =
-            Verify.check ~workload ~config:ctx.config
+            Verify.check ~jobs:(verify_jobs ctx) ~workload ~config:ctx.config
               ~original:(program ctx) ~repaired:(Cache.program repaired)
           in
           ctx.verification <- Some outcome;

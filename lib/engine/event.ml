@@ -5,6 +5,8 @@ type t = {
   pass : string;
   target : string;
   version : int;
+  parallel : int;
+      (** domains the pass fanned out over (1 = ran serially) *)
   dur_s : float;
   counters : (string * int) list;
   notes : (string * string) list;
@@ -46,6 +48,7 @@ let to_json e =
       str "pass" e.pass;
       str "target" e.target;
       Printf.sprintf "\"version\":%d" e.version;
+      Printf.sprintf "\"parallel\":%d" e.parallel;
       Printf.sprintf "\"dur_s\":%.6f" e.dur_s;
       "\"counters\":" ^ counters;
       "\"notes\":" ^ notes;

@@ -11,13 +11,14 @@ type t = {
   pass : string;  (** pass name, e.g. ["locate"] *)
   target : string;  (** the repair target's name *)
   version : int;  (** program version the pass started from *)
+  parallel : int;  (** domains the pass fanned out over (1 = serial) *)
   dur_s : float;  (** wall-clock duration of the pass *)
   counters : (string * int) list;  (** e.g. [("bugs", 3)] *)
   notes : (string * string) list;  (** e.g. [("detector", "dynamic")] *)
 }
 
 (** One JSON object per event (no trailing newline):
-    [{"pass":…,"target":…,"version":…,"dur_s":…,"counters":{…},"notes":{…}}] *)
+    [{"pass":…,"target":…,"version":…,"parallel":…,"dur_s":…,"counters":{…},"notes":{…}}] *)
 val to_json : t -> string
 
 (** Write the events as JSON-lines, one event per line, in order. *)

@@ -3,12 +3,14 @@
 type t = {
   name : string;
   run : Context.t -> (string * int) list * (string * string) list;
+  parallel : Context.t -> int;
 }
 
-let make name run = { name; run }
+let make ?(parallel = fun _ -> 1) name run = { name; run; parallel }
 
 let execute (ctx : Context.t) pass =
   let version = Context.version ctx in
+  let parallel = pass.parallel ctx in
   let started = Unix_time.now () in
   let counters, notes = pass.run ctx in
   let dur_s = Unix_time.now () -. started in
@@ -17,6 +19,7 @@ let execute (ctx : Context.t) pass =
       Event.pass = pass.name;
       target = ctx.Context.target;
       version;
+      parallel;
       dur_s;
       counters;
       notes;

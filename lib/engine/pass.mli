@@ -11,9 +11,16 @@ type t = {
   name : string;
   run : Context.t -> (string * int) list * (string * string) list;
       (** mutate the context; return (counters, notes) for the event *)
+  parallel : Context.t -> int;
+      (** domains the pass will fan out over, recorded in its event;
+          defaults to a constant 1 (serial) *)
 }
 
-val make : string -> (Context.t -> (string * int) list * (string * string) list) -> t
+val make :
+  ?parallel:(Context.t -> int) ->
+  string ->
+  (Context.t -> (string * int) list * (string * string) list) ->
+  t
 
 (** Run one pass: record the start version, time [run], emit the event. *)
 val execute : Context.t -> t -> unit

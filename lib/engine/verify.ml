@@ -12,6 +12,7 @@
 
 open Hippo_pmir
 open Hippo_pmcheck
+module Pool = Hippo_parallel.Pool
 
 type outcome = {
   residual_bugs : Report.bug list;
@@ -25,17 +26,32 @@ let harm_free o = o.outputs_match && o.pm_working_match
 
 let effective o = o.residual_bugs = []
 
-let check ~(workload : Interp.t -> unit) ~(config : Interp.config)
+let check ~jobs ~(workload : Interp.t -> unit) ~(config : Interp.config)
     ~(original : Program.t) ~(repaired : Program.t) : outcome =
   let run prog =
     let t = Interp.create config prog in
-    (try workload t
-     with Interp.Stopped_at_crash -> ());
-    Interp.exit_check t;
+    let crashed =
+      try
+        workload t;
+        false
+      with Interp.Stopped_at_crash -> true
+    in
+    (* A run that stopped at a crash point never reaches program exit: the
+       interpreter is mid-transaction, and charging the implicit at-exit
+       crash point would report stores the program had no chance to
+       persist yet — phantom residual bugs on crash workloads. *)
+    if not crashed then Interp.exit_check t;
     t
   in
-  let t0 = run original in
-  let t1 = run repaired in
+  let t0, t1 =
+    if jobs > 1 then
+      (* the two executions are independent: one worker domain runs the
+         original while this domain runs the repaired program *)
+      match Pool.run ~domains:2 (fun p -> Pool.map p run [ original; repaired ]) with
+      | [ t0; t1 ] -> (t0, t1)
+      | _ -> assert false
+    else (run original, run repaired)
+  in
   {
     residual_bugs = Interp.bugs t1;
     outputs_match = Interp.output t0 = Interp.output t1;

@@ -1,0 +1,137 @@
+(* Fixed-size domain pool over a mutex-protected queue. Determinism comes
+   from collection, not scheduling: tasks write into a slot array indexed
+   by submission order, and the caller reads the slots back in order once
+   every task of its batch has settled. The caller drains the queue while
+   waiting, so a width-n pool spawns only n-1 domains and a nested [map]
+   issued from inside a task keeps making progress instead of
+   deadlocking. *)
+
+let default_domains () =
+  match Sys.getenv_opt "HIPPO_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+type t = {
+  width : int;
+  mutex : Mutex.t;
+  work : Condition.t;  (* signalled on new work and on shutdown *)
+  queue : (unit -> unit) Queue.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let domains t = t.width
+
+let worker_loop t =
+  let rec next () =
+    Mutex.lock t.mutex;
+    let job =
+      let rec take () =
+        match Queue.take_opt t.queue with
+        | Some j -> Some j
+        | None ->
+            if t.closed then None
+            else begin
+              Condition.wait t.work t.mutex;
+              take ()
+            end
+      in
+      take ()
+    in
+    Mutex.unlock t.mutex;
+    match job with
+    | Some j ->
+        j ();
+        next ()
+    | None -> ()
+  in
+  next ()
+
+let create ?domains () =
+  let width =
+    max 1 (match domains with Some n -> n | None -> default_domains ())
+  in
+  let t =
+    {
+      width;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+      workers = [];
+    }
+  in
+  t.workers <-
+    List.init (width - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let was_closed = t.closed in
+  t.closed <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  if not was_closed then List.iter Domain.join t.workers
+
+let run ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* ------------------------------------------------------------------ *)
+
+type 'b slot = Empty | Ok_ of 'b | Error_ of exn * Printexc.raw_backtrace
+
+let map t f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | xs when t.width <= 1 -> List.map f xs
+  | xs ->
+      let inputs = Array.of_list xs in
+      let n = Array.length inputs in
+      let results = Array.make n Empty in
+      let remaining = ref n in
+      let finished = Condition.create () in
+      let task k () =
+        let r =
+          try Ok_ (f inputs.(k))
+          with e -> Error_ (e, Printexc.get_raw_backtrace ())
+        in
+        Mutex.lock t.mutex;
+        results.(k) <- r;
+        decr remaining;
+        if !remaining = 0 then Condition.broadcast finished;
+        Mutex.unlock t.mutex
+      in
+      Mutex.lock t.mutex;
+      for k = 0 to n - 1 do
+        Queue.push (task k) t.queue
+      done;
+      Condition.broadcast t.work;
+      (* Caller-helps: run queued tasks (this batch's or, under nesting,
+         anyone's) until every slot of this batch has settled. *)
+      while !remaining > 0 do
+        match Queue.take_opt t.queue with
+        | Some job ->
+            Mutex.unlock t.mutex;
+            job ();
+            Mutex.lock t.mutex
+        | None -> Condition.wait finished t.mutex
+      done;
+      Mutex.unlock t.mutex;
+      (* First failing submission wins: deterministic error reporting. *)
+      Array.iter
+        (function
+          | Error_ (e, bt) -> Printexc.raise_with_backtrace e bt
+          | Ok_ _ | Empty -> ())
+        results;
+      Array.to_list
+        (Array.map
+           (function Ok_ v -> v | Empty | Error_ _ -> assert false)
+           results)
+
+let map_reduce t ~map:f ~reduce ~init xs =
+  List.fold_left reduce init (map t f xs)

@@ -1,0 +1,61 @@
+(** A fixed-size domain work pool with deterministic result collection.
+
+    The engine's hot paths (corpus sweeps, crash-state enumeration,
+    original-vs-repaired verification) are embarrassingly parallel: many
+    independent pure tasks whose results are only combined at the end.
+    This pool runs them across OCaml 5 domains while keeping every
+    observable output {e deterministic}:
+
+    - {!map} returns results in submission order, regardless of which
+      domain finished first;
+    - a raising task propagates its exception to the caller — always the
+      exception of the {e earliest} submitted failing task, with its
+      backtrace, so failures do not depend on scheduling;
+    - [~domains:1] spawns no domains at all and degrades to [List.map],
+      byte-identical to the serial code path (including lazy evaluation
+      order and early exit on exceptions).
+
+    The pool is fixed-size: [create ~domains:n] spawns [n - 1] worker
+    domains; the submitting domain itself drains the queue while waiting
+    (caller-helps), so [n] tasks make progress at once and nested [map]
+    calls from inside a task cannot deadlock. Pools are reusable across
+    any number of [map] calls and must be {!shutdown} (or created via
+    {!run}) to join the workers. *)
+
+type t
+
+(** [default_domains ()] is the [HIPPO_JOBS] environment variable when it
+    parses as a positive integer, otherwise
+    [Domain.recommended_domain_count ()]. This is the default for every
+    [--jobs] flag. *)
+val default_domains : unit -> int
+
+(** [create ~domains ()] builds a pool of [domains] total executors
+    ([domains - 1] spawned worker domains plus the caller). [domains]
+    defaults to {!default_domains}; values below 1 are clamped to 1. *)
+val create : ?domains:int -> unit -> t
+
+(** Nominal width of the pool (the [~domains] it was created with). *)
+val domains : t -> int
+
+(** [map pool f xs] applies [f] to every element of [xs] across the pool
+    and returns the results in submission order. If any task raised, the
+    exception of the earliest failing submission is re-raised (with its
+    backtrace) after all tasks have settled. With a width-1 pool this is
+    exactly [List.map f xs]. *)
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [map_reduce pool ~map ~reduce ~init xs] maps across the pool, then
+    folds the results in submission order:
+    [List.fold_left reduce init (Pool.map pool map xs)]. *)
+val map_reduce :
+  t -> map:('a -> 'b) -> reduce:('acc -> 'b -> 'acc) -> init:'acc ->
+  'a list -> 'acc
+
+(** Join all worker domains. Idempotent; the pool must not be used
+    afterwards. *)
+val shutdown : t -> unit
+
+(** [run ?domains f] is [f pool] on a fresh pool, with a guaranteed
+    {!shutdown} on exit (normal or exceptional). *)
+val run : ?domains:int -> (t -> 'a) -> 'a

@@ -66,15 +66,24 @@ let count_crash_points ?(config = Interp.default_config) prog
        (function Trace.Crash_point { iid = Some _; _ } -> true | _ -> false)
        (Interp.trace t))
 
-(** [sweep prog ~setup ~checker ~checker_args] checks every crash point of
-    the workload; returns the verdicts in order. *)
-let sweep ?config prog ~setup ~checker ~checker_args =
+(** [sweep ?jobs prog ~setup ~checker ~checker_args] checks every crash
+    point of the workload; returns the verdicts in crash-point order.
+    Crash points are independent scenarios (each re-runs the workload
+    from scratch on its own interpreter), so [jobs > 1] fans them out
+    over a domain pool; results are collected in submission order, so the
+    verdict list is identical to the serial sweep. *)
+let sweep ?config ?(jobs = 1) prog ~setup ~checker ~checker_args =
   let n = count_crash_points ?config prog ~setup in
-  List.init n (fun k ->
-      check_crash ?config prog ~setup ~checker ~checker_args
-        ~crash_index:(k + 1))
+  let check k =
+    check_crash ?config prog ~setup ~checker ~checker_args ~crash_index:k
+  in
+  let indices = List.init n (fun k -> k + 1) in
+  if jobs <= 1 then List.map check indices
+  else
+    Hippo_parallel.Pool.run ~domains:jobs (fun pool ->
+        Hippo_parallel.Pool.map pool check indices)
 
 (** A program is crash consistent for a workload when recovery succeeds on
     the pessimistic image of every crash point. *)
-let crash_consistent ?config prog ~setup ~checker ~checker_args =
-  List.for_all consistent (sweep ?config prog ~setup ~checker ~checker_args)
+let crash_consistent ?config ?jobs prog ~setup ~checker ~checker_args =
+  List.for_all consistent (sweep ?config ?jobs prog ~setup ~checker ~checker_args)

@@ -42,9 +42,14 @@ val count_crash_points :
   setup:(string * int list) list ->
   int
 
-(** Check every crash point of the workload, in order. *)
+(** Check every crash point of the workload, in crash-point order. Each
+    crash point is an independent scenario on its own interpreter, so
+    [jobs > 1] (default 1) fans them out over a domain pool; submission
+    -order collection keeps the verdict list identical to the serial
+    sweep. *)
 val sweep :
   ?config:Interp.config ->
+  ?jobs:int ->
   Hippo_pmir.Program.t ->
   setup:(string * int list) list ->
   checker:string ->
@@ -55,6 +60,7 @@ val sweep :
     the pessimistic image of every crash point. *)
 val crash_consistent :
   ?config:Interp.config ->
+  ?jobs:int ->
   Hippo_pmir.Program.t ->
   setup:(string * int list) list ->
   checker:string ->

@@ -131,6 +131,26 @@ let flush t mem ~iid ~kind ~addr =
           !b)
       (List.filter_map (Hashtbl.find_opt t.lines) [ line - 1; line ]);
     let affected = List.sort_uniq compare_seq !affected in
+    (* Write-backs to one line complete in order, so a clflush — which
+       makes the line's current contents durable right away — logically
+       completes after any earlier still-in-flight flush of the same
+       line. Drain those pending records first (oldest first), or their
+       stale snapshots would overwrite the newer bytes at the next
+       fence. *)
+    (match kind with
+    | Instr.Clflush ->
+        let drained, in_flight =
+          List.partition
+            (fun r -> r.addr < hi && lo < r.addr + r.size)
+            t.pending
+        in
+        List.iter
+          (fun r ->
+            commit_snapshot mem r;
+            remove_record t r)
+          (List.sort compare_seq drained);
+        t.pending <- in_flight
+    | Instr.Clwb | Instr.Clflushopt -> ());
     List.iter
       (fun r ->
         r.snapshot <- Mem.read_string mem ~addr:r.addr ~len:r.size;

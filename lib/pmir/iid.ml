@@ -12,11 +12,11 @@
 
 type t = { func : string; serial : int }
 
-let counter = ref 0
+(* Atomic: programs may be built or cloned from several domains at once
+   (parallel corpus sweeps); serials only need process-wide uniqueness. *)
+let counter = Atomic.make 0
 
-let fresh ~func =
-  incr counter;
-  { func; serial = !counter }
+let fresh ~func = { func; serial = Atomic.fetch_and_add counter 1 + 1 }
 
 (** [of_serial ~func n] reconstitutes an identity recorded in a trace file.
     Does not touch the fresh-serial counter: trace identities must match the

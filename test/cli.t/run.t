@@ -133,3 +133,99 @@ The corpus listing shows all 23 reproduced bugs:
 
   $ hippocrates corpus | wc -l
   23
+
+Repairs are deterministic across domain budgets: `--jobs` parallelizes
+verification without changing a byte of output:
+
+  $ hippocrates fix demo.pmir --jobs 1 -o demo.j1.pmir
+  target: demo.pmir
+  bugs: 2
+  fixes: 1 (0 intraprocedural, 1 interprocedural)
+  reduction eliminated: 2
+  IR size: 17 -> 24 (+41.176%)
+  verification: residual bugs: 0; outputs match; PM state match
+  $ hippocrates fix demo.pmir --jobs 4 -o demo.j4.pmir
+  target: demo.pmir
+  bugs: 2
+  fixes: 1 (0 intraprocedural, 1 interprocedural)
+  reduction eliminated: 2
+  IR size: 17 -> 24 (+41.176%)
+  verification: residual bugs: 0; outputs match; PM state match
+  $ diff demo.j1.pmir demo.j4.pmir
+  $ diff demo.j1.pmir demo.fixed.pmir
+
+`check --crash-sweep` enumerates every crash point of the workload and
+recovers both crash images with an in-program checker, fanning the
+scenarios out across `--jobs` domains. A persistent counter whose shadow
+copy is never flushed recovers only on the lucky image — the durability
+bug demonstrated end to end:
+
+  $ cat > counter.pmir <<'PMIR'
+  > ; value at [0], shadow at [64]; invariant: value == shadow
+  > func @main() {
+  > entry:
+  >   %c = call @pm_alloc(128)
+  >   store.i64 0 -> %c @ "counter.c":3
+  >   %s = gep %c, 64
+  >   store.i64 0 -> %s @ "counter.c":4
+  >   flush.clwb %c
+  >   flush.clwb %s
+  >   fence.sfence
+  >   call @bump()
+  >   call @bump()
+  >   ret
+  > }
+  > 
+  > func @bump() {
+  > entry:
+  >   %c = call @pm_base()
+  >   %s = gep %c, 64
+  >   %x0 = load.i64 %c
+  >   %x = add %x0, 1
+  >   store.i64 %x -> %c @ "counter.c":10
+  >   flush.clwb %c
+  >   fence.sfence
+  >   store.i64 %x -> %s @ "counter.c":12
+  >   crash @ "counter.c":14
+  >   ret
+  > }
+  > 
+  > func @check() {
+  > entry:
+  >   %c = call @pm_base()
+  >   %s = gep %c, 64
+  >   %a = load.i64 %c
+  >   %b = load.i64 %s
+  >   %e = eq %a, %b
+  >   ret %e
+  > }
+  > PMIR
+
+  $ hippocrates check counter.pmir --crash-sweep check --jobs 2
+  main() returned 0
+  PM stores: 6, flushes: 4, fences: 3
+  durability bugs: 3
+    [missing-flush&fence] store at counter.c:12 (bump#18), 0x40000040+8, unpersisted at counter.c:14
+    [missing-flush&fence] store at counter.c:12 (bump#18), 0x40000040+8, unpersisted at counter.c:14
+    [missing-flush&fence] store at counter.c:12 (bump#18), 0x40000040+8, unpersisted at <exit>:0
+    crash point  1: pessimistic LOST, lucky recovers
+    crash point  2: pessimistic LOST, lucky recovers
+  crash consistent: NO (0/2 crash points recover)
+  [1]
+
+After repair the pessimistic image recovers at every crash point:
+
+  $ hippocrates fix counter.pmir -o counter.fixed.pmir 2>/dev/null
+  $ hippocrates check counter.fixed.pmir --crash-sweep check --jobs 2
+  main() returned 0
+  PM stores: 6, flushes: 6, fences: 5
+  durability bugs: 0
+    crash point  1: pessimistic recovers, lucky recovers
+    crash point  2: pessimistic recovers, lucky recovers
+  crash consistent: yes (2/2 crash points recover)
+
+The static analyzer rejects the sweep (it has no workload to crash):
+
+  $ hippocrates check counter.pmir --static --crash-sweep check
+  error: --crash-sweep needs a dynamic workload; drop --static
+  [1]

@@ -10,6 +10,8 @@ let () =
       ("fixes", Test_fixes.suite);
       ("driver", Test_driver.suite);
       ("engine", Test_engine.suite);
+      ("parallel", Test_parallel.suite);
+      ("pmir-gen", Test_pmir_gen.suite);
       ("staticcheck", Test_staticcheck.suite);
       ("corpus", Test_corpus.suite);
       ("apps", Test_apps.suite);

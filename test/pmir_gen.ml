@@ -1,0 +1,125 @@
+(* Randomized well-typed PMIR generator.
+
+   Produces programs mixing PM stores, flushes, fences, volatile traffic
+   and interprocedural persist helpers. The central export is
+   [arb_bug_free]: programs where every PM store is covered by a
+   store -> flush -> fence chain before any crash point or exit, so both
+   the dynamic finder and the static analyzer must report zero bugs —
+   the oracle for the static/dynamic differential property and a
+   fixed-point input for the repair determinism battery. *)
+
+open Hippo_pmir
+
+let i = Value.imm
+
+(* PM slots live on distinct cache lines so persisting one slot never
+   accidentally covers another. *)
+let slots = 4
+let slot_off k = k * 64
+
+type step =
+  | S_persist of int * int  (* store slot <- value; flush; fence *)
+  | S_persist_helper of int * int  (* the same chain behind a call *)
+  | S_batch of (int * int) list  (* stores, flush each, one fence *)
+  | S_vol_store of int * int
+  | S_emit of int
+  | S_store_raw of int * int  (* bare PM store: a durability bug unless a
+                                 later step happens to persist the slot *)
+  | S_flush of int
+  | S_fence
+
+let bug_free_cases sv slot =
+  let open QCheck.Gen in
+  [
+    (3, map (fun (s, x) -> S_persist (s, x)) sv);
+    (3, map (fun (s, x) -> S_persist_helper (s, x)) sv);
+    (2, map (fun ps -> S_batch ps) (list_size (int_range 1 3) sv));
+    (2, map (fun (s, x) -> S_vol_store (s, x)) sv);
+    (1, map (fun s -> S_emit s) slot);
+  ]
+
+let gen_with cases : step list QCheck.Gen.t =
+  let open QCheck.Gen in
+  list_size (int_range 1 20) (frequency cases)
+
+let gen_steps : step list QCheck.Gen.t =
+  let slot = QCheck.Gen.int_range 0 (slots - 1) in
+  let value = QCheck.Gen.int_range 1 999 in
+  let sv = QCheck.Gen.pair slot value in
+  gen_with (bug_free_cases sv slot)
+
+(* the full alphabet: bare stores, stray flushes and fences — programs
+   that may or may not harbor durability bugs *)
+let gen_mixed_steps : step list QCheck.Gen.t =
+  let open QCheck.Gen in
+  let slot = int_range 0 (slots - 1) in
+  let value = int_range 1 999 in
+  let sv = QCheck.Gen.pair slot value in
+  gen_with
+    (bug_free_cases sv slot
+    @ [
+        (4, map (fun (s, x) -> S_store_raw (s, x)) sv);
+        (2, map (fun s -> S_flush s) slot);
+        (2, return S_fence);
+      ])
+
+let program_of_steps steps : Program.t =
+  let b = Builder.create () in
+  let open Builder in
+  (* interprocedural persist chain: store + flush + fence behind a call,
+     so the static analyzer must summarize the callee to agree with the
+     dynamic finder *)
+  let _ =
+    func b "persist_to" [ "p"; "x" ] ~body:(fun fb ->
+        store fb ~addr:(Value.reg "p") (Value.reg "x");
+        flush fb (Value.reg "p");
+        fence fb ();
+        ret_void fb)
+  in
+  let _ =
+    func b "main" [] ~body:(fun fb ->
+        let pm = call fb "pm_alloc" [ i (slots * 64) ] in
+        let vol = call fb "malloc" [ i (slots * 8) ] in
+        let pm_slot k = gep fb pm (i (slot_off k)) in
+        let vol_slot k = gep fb vol (i (k * 8)) in
+        List.iter
+          (function
+            | S_persist (s, x) ->
+                let p = pm_slot s in
+                store fb ~addr:p (i x);
+                flush fb p;
+                fence fb ()
+            | S_persist_helper (s, x) ->
+                call_void fb "persist_to" [ pm_slot s; i x ]
+            | S_batch ps ->
+                (* several stores then their flushes, ordered by one
+                   fence: still fully persisted *)
+                List.iter (fun (s, x) -> store fb ~addr:(pm_slot s) (i x)) ps;
+                List.iter (fun (s, _) -> flush fb (pm_slot s)) ps;
+                fence fb ()
+            | S_vol_store (s, x) -> store fb ~addr:(vol_slot s) (i x)
+            | S_emit s -> call_void fb "emit" [ load fb (pm_slot s) ]
+            | S_store_raw (s, x) -> store fb ~addr:(pm_slot s) (i x)
+            | S_flush s -> flush fb (pm_slot s)
+            | S_fence -> fence fb ())
+          steps;
+        ret_void fb)
+  in
+  let p = Builder.program b in
+  Validate.check_exn p;
+  p
+
+(** Bug-free programs: every PM store persisted before exit. *)
+let arb_bug_free =
+  QCheck.make
+    QCheck.Gen.(map program_of_steps gen_steps)
+    ~print:Printer.to_string
+
+(** Programs over the full alphabet, buggy or not — repair-pipeline
+    inputs for the determinism battery. *)
+let arb_mixed =
+  QCheck.make
+    QCheck.Gen.(map program_of_steps gen_mixed_steps)
+    ~print:Printer.to_string
+
+let workload t = ignore (Hippo_pmcheck.Interp.call t "main" [])

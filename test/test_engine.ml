@@ -118,6 +118,7 @@ let test_event_json () =
       E.Event.pass = "locate";
       target = "a \"quoted\"\npath";
       version = 0;
+      parallel = 2;
       dur_s = 0.25;
       counters = [ ("bugs", 3) ];
       notes = [ ("detector", "dynamic") ];
@@ -125,7 +126,7 @@ let test_event_json () =
   in
   Alcotest.(check string)
     "escaped JSON object"
-    "{\"pass\":\"locate\",\"target\":\"a \\\"quoted\\\"\\npath\",\"version\":0,\"dur_s\":0.250000,\"counters\":{\"bugs\":3},\"notes\":{\"detector\":\"dynamic\"}}"
+    "{\"pass\":\"locate\",\"target\":\"a \\\"quoted\\\"\\npath\",\"version\":0,\"parallel\":2,\"dur_s\":0.250000,\"counters\":{\"bugs\":3},\"notes\":{\"detector\":\"dynamic\"}}"
     (E.Event.to_json e)
 
 (* ------------------------------------------------------------------ *)

@@ -138,6 +138,25 @@ let test_pstate_clflush_immediate () =
   Alcotest.(check int) "content" 9
     (Int64.to_int (Bytes.get_int64_le (Mem.crash_image m) (a - Layout.pm_base)))
 
+let test_pstate_clflush_drains_pending_writeback () =
+  (* clwb queues a write-back of value 1; the line is re-stored with 2 and
+     clflush'd. Write-backs to one line complete in order, so the fence
+     must not let the stale clwb snapshot overwrite the clflush'd bytes. *)
+  let ps = Pstate.create () in
+  let m = mk_mem () in
+  let a = Mem.alloc_pm m 64 in
+  Mem.store m ~addr:a ~size:8 1;
+  ignore (Pstate.store ps ~iid:(dummy_iid ()) ~loc:dloc ~stack:[] ~addr:a ~size:8 ~seq:0);
+  ignore (Pstate.flush ps m ~iid:(dummy_iid ()) ~kind:Instr.Clwb ~addr:a);
+  Mem.store m ~addr:a ~size:8 2;
+  ignore (Pstate.store ps ~iid:(dummy_iid ()) ~loc:dloc ~stack:[] ~addr:a ~size:8 ~seq:1);
+  ignore (Pstate.flush ps m ~iid:(dummy_iid ()) ~kind:Instr.Clflush ~addr:a);
+  Alcotest.(check int) "nothing in flight" 0 (Pstate.pending_count ps);
+  Alcotest.(check int) "all durable" 0 (Pstate.unpersisted_count ps);
+  ignore (Pstate.fence ps m ~seq:2);
+  Alcotest.(check int) "newest value survives the fence" 2
+    (Int64.to_int (Bytes.get_int64_le (Mem.crash_image m) (a - Layout.pm_base)))
+
 let test_pstate_nt_store () =
   let ps = Pstate.create () in
   let m = mk_mem () in
@@ -576,6 +595,9 @@ let suite =
     ("mem string roundtrip", `Quick, test_mem_string_roundtrip);
     ("pstate store/flush/fence", `Quick, test_pstate_store_flush_fence);
     ("pstate clflush immediate", `Quick, test_pstate_clflush_immediate);
+    ( "pstate clflush drains pending",
+      `Quick,
+      test_pstate_clflush_drains_pending_writeback );
     ("pstate nt store", `Quick, test_pstate_nt_store);
     ("pstate flush snapshot", `Quick, test_pstate_flush_snapshot_semantics);
     ("pstate supersede", `Quick, test_pstate_supersede);
