@@ -1,4 +1,5 @@
-.PHONY: all build check test bench bench-static bench-par trace-demo clean fmt
+.PHONY: all build check test bench bench-static bench-par bench-crash \
+	bench-json trace-demo clean fmt
 
 all: build
 
@@ -21,6 +22,15 @@ bench-static:
 # with a cross-check that parallel sweeps reproduce the serial plans.
 bench-par:
 	dune exec bench/main.exe -- table_par
+
+# Single-pass dedup crash sweep vs per-crash-point replay: n, distinct
+# images, recovery runs, wall clock, speedup, verdict identity.
+bench-crash:
+	dune exec bench/main.exe -- table_crash
+
+# Same, with machine-readable results at the repo root (CI artifact).
+bench-json:
+	dune exec bench/main.exe -- table_crash --json BENCH_pr4.json
 
 # One corpus case end to end with engine tracing: JSON-lines events to
 # trace-demo.jsonl, per-phase timing breakdown on stderr.

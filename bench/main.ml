@@ -19,11 +19,14 @@
                                       (ablation sweep, shared analysis cache)
      bench/main.exe table_par       — corpus-sweep wall-clock scaling over
                                       worker domains (jobs 1 vs 2 vs 4)
+     bench/main.exe table_crash     — single-pass dedup crash sweep vs
+                                      per-crash-point replay
      bench/main.exe micro           — bechamel micro-benchmarks
 
    `--jobs N` sets the domain budget for every corpus sweep (default:
    HIPPO_JOBS or the machine's recommended domain count). `--jobs 1` is
-   byte-identical to the historical serial harness. *)
+   byte-identical to the historical serial harness. `--json FILE` writes
+   the results of json-aware experiments (table_crash) to FILE. *)
 
 open Hippo_pmir
 open Hippo_pmcheck
@@ -591,20 +594,280 @@ let table_par () =
     "  (speedup tracks physical cores: a 1-core host pins every row near \
      1.00x, a 4-core host should reach >= 2x at jobs 4)@."
 
+(* E11 — crash-sweep: single-pass dedup vs per-crash-point replay *)
+
+(* Small interpreter buffers: a crash sweep creates one machine per
+   recovery run, and at the default sizes buffer zeroing would dwarf the
+   work being measured. Both strategies run under the same per-subject
+   config, sized to the subject's actual footprint. *)
+let crash_config ~pm_size =
+  {
+    Interp.default_config with
+    Interp.vol_size = 1 lsl 12;
+    stack_size = 1 lsl 14;
+    global_size = 1 lsl 12;
+    pm_size;
+  }
+
+let counter_pmir =
+  {pmir|
+; shadow counter: value at [0], shadow at [64]; the shadow store is
+; never flushed, so every crash point loses it — and every durable
+; image is distinct (the dedup-hostile case).
+func @cnt_init() {
+entry:
+  %c = call @pm_alloc(128)
+  store.i64 0 -> %c @ "cnt.c":1
+  %s = gep %c, 64
+  store.i64 0 -> %s @ "cnt.c":2
+  flush.clwb %c
+  flush.clwb %s
+  fence.sfence
+  ret
+}
+
+func @cnt_bump() {
+entry:
+  %c = call @pm_base()
+  %s = gep %c, 64
+  %x0 = load.i64 %c
+  %x = add %x0, 1
+  store.i64 %x -> %c @ "cnt.c":10
+  flush.clwb %c
+  fence.sfence
+  store.i64 %x -> %s @ "cnt.c":12
+  crash @ "cnt.c":14
+  ret
+}
+
+func @cnt_check() {
+entry:
+  %c = call @pm_base()
+  %s = gep %c, 64
+  %a = load.i64 %c
+  %b = load.i64 %s
+  %e = eq %a, %b
+  ret %e
+}
+|pmir}
+
+let pingpong_pmir =
+  {pmir|
+; correctly-persisted one-bit toggle: the durable image cycles between
+; two states, so a sweep of any length needs only a handful of recovery
+; runs (the dedup-friendly case).
+func @pp_init() {
+entry:
+  %c = call @pm_alloc(64)
+  store.i64 0 -> %c @ "pp.c":1
+  flush.clwb %c
+  fence.sfence
+  ret
+}
+
+func @pp_flip() {
+entry:
+  %c = call @pm_base()
+  %x = load.i64 %c
+  %y = sub 1, %x
+  store.i64 %y -> %c @ "pp.c":6
+  flush.clwb %c
+  fence.sfence
+  crash @ "pp.c":9
+  ret
+}
+
+func @pp_check() {
+entry:
+  %c = call @pm_base()
+  %x = load.i64 %c
+  %ok = lt %x, 2
+  ret %ok
+}
+|pmir}
+
+let crash_subjects () =
+  let parsed name text =
+    try Parser.program text
+    with Parser.Parse_error { line; msg } ->
+      Fmt.failwith "bench %s: parse error at line %d: %s" name line msg
+  in
+  let clht_setup =
+    [ ("clht_init", [ 4 ]) ]
+    @ List.concat_map
+        (fun k -> [ ("clht_put", [ k; k * 3 ]) ])
+        (List.init 40 (fun k -> k + 1))
+    @ [ ("clht_put", [ 3; 999 ]) ]
+  in
+  [
+    ( "p-clht",
+      Pclht.build (),
+      clht_setup,
+      "clht_recover_check",
+      crash_config ~pm_size:(1 lsl 15) );
+    ( "counter",
+      parsed "counter" counter_pmir,
+      ("cnt_init", []) :: List.init 150 (fun _ -> ("cnt_bump", [])),
+      "cnt_check",
+      crash_config ~pm_size:(1 lsl 12) );
+    ( "pingpong",
+      parsed "pingpong" pingpong_pmir,
+      ("pp_init", []) :: List.init 150 (fun _ -> ("pp_flip", [])),
+      "pp_check",
+      crash_config ~pm_size:(1 lsl 12) );
+  ]
+
+let table_crash () =
+  section
+    "crash — single-pass dedup sweep vs per-crash-point replay (--jobs 1)";
+  Fmt.pr
+    "  %-10s %6s %9s %9s %10s %10s %8s %s@." "subject" "n" "distinct"
+    "runs" "replay" "single" "speedup" "verdicts";
+  let rows =
+    List.map
+      (fun (id, prog, setup, checker, config) ->
+        let time f =
+          let t0 = Unix.gettimeofday () in
+          let r = f () in
+          (Unix.gettimeofday () -. t0, r)
+        in
+        let t_sp, (v_sp, stats) =
+          time (fun () ->
+              Crashsim.sweep_with_stats ~config ~jobs:1
+                ~strategy:`Single_pass prog ~setup ~checker ~checker_args:[])
+        in
+        let t_rp, (v_rp, _) =
+          time (fun () ->
+              Crashsim.sweep_with_stats ~config ~jobs:1 ~strategy:`Replay
+                prog ~setup ~checker ~checker_args:[])
+        in
+        let v_sp4 =
+          Crashsim.sweep ~config ~jobs:4 prog ~setup ~checker
+            ~checker_args:[]
+        in
+        let identical = v_sp = v_rp && v_sp = v_sp4 in
+        Fmt.pr "  %-10s %6d %9d %9d %9.3fs %9.3fs %7.1fx %s@." id
+          stats.Crashsim.crash_points stats.Crashsim.distinct_images
+          stats.Crashsim.recovery_runs t_rp t_sp (t_rp /. t_sp)
+          (if identical then "identical" else "DIFFER");
+        (id, stats, t_rp, t_sp, identical))
+      (crash_subjects ())
+  in
+  let tot_rp = List.fold_left (fun a (_, _, r, _, _) -> a +. r) 0.0 rows in
+  let tot_sp = List.fold_left (fun a (_, _, _, s, _) -> a +. s) 0.0 rows in
+  let all_identical = List.for_all (fun (_, _, _, _, i) -> i) rows in
+  Fmt.pr
+    "  total: replay %.3fs, single-pass %.3fs, speedup %.1fx (threshold: >= \
+     5x); verdicts %s across strategies and jobs {1,4}@."
+    tot_rp tot_sp (tot_rp /. tot_sp)
+    (if all_identical then "identical" else "DIFFER");
+  `Assoc
+    [
+      ( "subjects",
+        `List
+          (List.map
+             (fun (id, (s : Crashsim.stats), t_rp, t_sp, identical) ->
+               `Assoc
+                 [
+                   ("subject", `String id);
+                   ("crash_points", `Int s.Crashsim.crash_points);
+                   ("distinct_pessimistic", `Int s.Crashsim.distinct_pessimistic);
+                   ("distinct_lucky", `Int s.Crashsim.distinct_lucky);
+                   ("distinct_images", `Int s.Crashsim.distinct_images);
+                   ("recovery_runs", `Int s.Crashsim.recovery_runs);
+                   ("memo_hits", `Int s.Crashsim.memo_hits);
+                   ("replay_s", `Float t_rp);
+                   ("single_pass_s", `Float t_sp);
+                   ("speedup", `Float (t_rp /. t_sp));
+                   ("verdicts_identical", `Bool identical);
+                 ])
+             rows) );
+      ("replay_total_s", `Float tot_rp);
+      ("single_pass_total_s", `Float tot_sp);
+      ("speedup", `Float (tot_rp /. tot_sp));
+      ("verdicts_identical", `Bool all_identical);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* --json FILE: machine-readable results (hand-rolled serializer; no
+   JSON library in the toolchain). *)
+
+type json =
+  [ `Assoc of (string * json) list
+  | `List of json list
+  | `String of string
+  | `Int of int
+  | `Float of float
+  | `Bool of bool ]
+
+let rec json_to_buf buf (j : json) =
+  match j with
+  | `String s ->
+      Buffer.add_char buf '"';
+      String.iter
+        (function
+          | '"' -> Buffer.add_string buf "\\\""
+          | '\\' -> Buffer.add_string buf "\\\\"
+          | '\n' -> Buffer.add_string buf "\\n"
+          | c when Char.code c < 0x20 ->
+              Buffer.add_string buf (Fmt.str "\\u%04x" (Char.code c))
+          | c -> Buffer.add_char buf c)
+        s;
+      Buffer.add_char buf '"'
+  | `Int n -> Buffer.add_string buf (string_of_int n)
+  | `Float f -> Buffer.add_string buf (Fmt.str "%.6f" f)
+  | `Bool b -> Buffer.add_string buf (string_of_bool b)
+  | `List l ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          json_to_buf buf x)
+        l;
+      Buffer.add_char buf ']'
+  | `Assoc kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          json_to_buf buf (`String k);
+          Buffer.add_char buf ':';
+          json_to_buf buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+(* results accumulated by experiments that support --json *)
+let json_results : (string * json) list ref = ref []
+
+let add_json key (j : json) = json_results := (key, j) :: !json_results
+
+let write_json path =
+  let buf = Buffer.create 4096 in
+  json_to_buf buf (`Assoc (List.rev !json_results));
+  Buffer.add_char buf '\n';
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Fmt.pr "@.json results written to %s@." path
+
 let () =
   let args = Array.to_list (Array.sub Sys.argv 1 (Array.length Sys.argv - 1)) in
   let full = List.mem "--full" args in
-  (* consume "--jobs N"; everything else left in place *)
-  let rec strip_jobs = function
+  (* consume "--jobs N" and "--json FILE"; everything else left in place *)
+  let json_file = ref None in
+  let rec strip_opts = function
     | "--jobs" :: n :: rest ->
         (match int_of_string_opt n with
         | Some k when k >= 1 -> jobs := k
         | _ -> Fmt.epr "--jobs expects a positive integer, got %S@." n);
-        strip_jobs rest
-    | a :: rest -> a :: strip_jobs rest
+        strip_opts rest
+    | "--json" :: path :: rest ->
+        json_file := Some path;
+        strip_opts rest
+    | a :: rest -> a :: strip_opts rest
     | [] -> []
   in
-  let cmds = List.filter (fun a -> a <> "--full") (strip_jobs args) in
+  let cmds = List.filter (fun a -> a <> "--full") (strip_opts args) in
   let run_all () =
     fig1 ();
     table_effectiveness ();
@@ -620,9 +883,10 @@ let () =
     ablate_heuristic ();
     table_main ();
     table_par ();
+    add_json "table_crash" (table_crash ());
     micro ()
   in
-  match cmds with
+  (match cmds with
   | [] -> run_all ()
   | cmds ->
       List.iter
@@ -641,6 +905,12 @@ let () =
           | "ablate_heuristic" -> ablate_heuristic ()
           | "table_main" -> table_main ()
           | "table_par" -> table_par ()
+          | "table_crash" -> add_json "table_crash" (table_crash ())
           | "micro" -> micro ()
           | other -> Fmt.epr "unknown experiment %S@." other)
-        cmds
+        cmds);
+  match !json_file with
+  | Some path ->
+      add_json "jobs" (`Int !jobs);
+      write_json path
+  | None -> ()

@@ -121,7 +121,21 @@ let check_cmd =
                 points are independent scenarios and fan out across \
                 $(b,--jobs) worker domains.")
   in
-  let run prog_path entry args trace_out format static crash_sweep jobs =
+  let crash_strategy_arg =
+    Arg.(
+      value
+      & opt
+          (enum [ ("single-pass", `Single_pass); ("replay", `Replay) ])
+          `Single_pass
+      & info [ "crash-strategy" ] ~docv:"STRATEGY"
+          ~doc:"Crash-sweep strategy: $(b,single-pass) (one instrumented \
+                run; recovery deduplicated and memoized by image \
+                fingerprint) or $(b,replay) (re-execute the workload \
+                prefix per crash point). Verdicts are identical; \
+                single-pass also prints dedup statistics.")
+  in
+  let run prog_path entry args trace_out format static crash_sweep
+      crash_strategy jobs =
     let ( let* ) = Result.bind in
     let crash_sweep_check prog ~args =
       match crash_sweep with
@@ -129,8 +143,9 @@ let check_cmd =
       | Some checker when not (Program.mem prog checker) ->
           Error (Fmt.str "--crash-sweep: no function %S in the program" checker)
       | Some checker ->
-          let verdicts =
-            Crashsim.sweep ~jobs:(max 1 jobs) prog
+          let verdicts, stats =
+            Crashsim.sweep_with_stats ~jobs:(max 1 jobs)
+              ~strategy:crash_strategy prog
               ~setup:[ (entry, args) ]
               ~checker ~checker_args:[]
           in
@@ -141,6 +156,15 @@ let check_cmd =
                 (if v.Crashsim.pessimistic_ok then "recovers" else "LOST")
                 (if v.Crashsim.lucky_ok then "recovers" else "LOST"))
             verdicts;
+          (match crash_strategy with
+          | `Single_pass ->
+              Fmt.pr
+                "crash images: %d distinct of %d captured; recovery runs: \
+                 %d (%d memoized)@."
+                stats.Crashsim.distinct_images
+                (2 * stats.Crashsim.crash_points)
+                stats.Crashsim.recovery_runs stats.Crashsim.memo_hits
+          | `Replay -> ());
           let ok = List.filter Crashsim.consistent verdicts in
           Fmt.pr "crash consistent: %s (%d/%d crash points recover)@."
             (if List.length ok = List.length verdicts then "yes" else "NO")
@@ -230,7 +254,8 @@ let check_cmd =
              follow with a crash-point recovery sweep ($(b,--crash-sweep)).")
     Term.(
       const run $ prog_arg $ entry_arg $ entry_args_arg $ trace_out
-      $ format_arg $ static_flag $ crash_sweep_arg $ jobs_arg)
+      $ format_arg $ static_flag $ crash_sweep_arg $ crash_strategy_arg
+      $ jobs_arg)
 
 (* fix --------------------------------------------------------------- *)
 

@@ -61,11 +61,17 @@ type t = {
 
 (* Solver state: for each node, its current points-to set, its copy-edge
    successors, and the load/store constraints deferred until the set
-   grows. *)
+   grows. Difference propagation: [delta] holds the objects added to a
+   node's set since the node was last processed, and the solver applies
+   constraints to the delta only — each object crosses each edge once,
+   instead of the whole set being re-unioned on every visit. [queued]
+   keeps a node from being enqueued twice while it waits. *)
 type solver = {
   mutable objs : obj list;
   mutable nobj : int;
   pts : ISet.t ref NTbl.t;
+  delta : ISet.t ref NTbl.t;  (** unprocessed recent additions to pts *)
+  queued : unit NTbl.t;  (** nodes currently on the worklist *)
   succs : node list ref NTbl.t;
   (* [dst = *src]: when o enters pts(src), add edge Contents o -> dst *)
   load_cons : node list ref NTbl.t;
@@ -96,27 +102,48 @@ let new_obj s site =
   s.objs <- o :: s.objs;
   o
 
+let get_delta s key =
+  match NTbl.find_opt s.delta key with
+  | Some r -> r
+  | None ->
+      let r = ref ISet.empty in
+      NTbl.add s.delta key r;
+      r
+
+let enqueue s node =
+  if not (NTbl.mem s.queued node) then begin
+    NTbl.replace s.queued node ();
+    s.worklist <- node :: s.worklist
+  end
+
+(* Additions land in both pts and the node's delta; a node already waiting
+   on the worklist just accumulates more delta instead of a second entry. *)
 let add_to_pts s node oid =
   let r = get_pts s node in
   if not (ISet.mem oid !r) then begin
     r := ISet.add oid !r;
-    s.worklist <- node :: s.worklist
+    let d = get_delta s node in
+    d := ISet.add oid !d;
+    enqueue s node
+  end
+
+let add_set_to_pts s node set =
+  let r = get_pts s node in
+  let fresh = ISet.diff set !r in
+  if not (ISet.is_empty fresh) then begin
+    r := ISet.union !r fresh;
+    let d = get_delta s node in
+    d := ISet.union !d fresh;
+    enqueue s node
   end
 
 let add_edge s src dst =
   let es = get s.succs src in
   if not (List.exists (NodeKey.equal dst) !es) then begin
     es := dst :: !es;
-    (* propagate current set *)
-    let sp = get_pts s src in
-    if not (ISet.is_empty !sp) then begin
-      let dp = get_pts s dst in
-      let merged = ISet.union !dp !sp in
-      if not (ISet.equal merged !dp) then begin
-        dp := merged;
-        s.worklist <- dst :: s.worklist
-      end
-    end
+    (* a new edge must carry the source's full current set once; deltas
+       cover everything that arrives later *)
+    add_set_to_pts s dst !(get_pts s src)
   end
 
 (* Constraint generation --------------------------------------------------- *)
@@ -236,27 +263,31 @@ let solve s =
     | [] -> ()
     | n :: rest ->
         s.worklist <- rest;
-        let np = !(get_pts s n) in
-        (* complex constraints indexed on n *)
-        (match NTbl.find_opt s.load_cons n with
-        | Some lc -> ISet.iter (fun oid -> List.iter (add_edge s (Contents oid)) !lc) np
-        | None -> ());
-        (match NTbl.find_opt s.store_cons n with
-        | Some sc -> List.iter (fun v -> ISet.iter (fun oid -> add_edge s v (Contents oid)) np) !sc
-        | None -> ());
-        (* copy edges *)
-        (match NTbl.find_opt s.succs n with
-        | Some es ->
-            List.iter
-              (fun d ->
-                let dp = get_pts s d in
-                let merged = ISet.union !dp np in
-                if not (ISet.equal merged !dp) then begin
-                  dp := merged;
-                  s.worklist <- d :: s.worklist
-                end)
-              !es
-        | None -> ());
+        NTbl.remove s.queued n;
+        (* only the objects added since n was last processed; everything
+           older already crossed these edges *)
+        let d = get_delta s n in
+        let nd = !d in
+        d := ISet.empty;
+        if not (ISet.is_empty nd) then begin
+          (* complex constraints indexed on n *)
+          (match NTbl.find_opt s.load_cons n with
+          | Some lc ->
+              ISet.iter
+                (fun oid -> List.iter (add_edge s (Contents oid)) !lc)
+                nd
+          | None -> ());
+          (match NTbl.find_opt s.store_cons n with
+          | Some sc ->
+              List.iter
+                (fun v -> ISet.iter (fun oid -> add_edge s v (Contents oid)) nd)
+                !sc
+          | None -> ());
+          (* copy edges *)
+          match NTbl.find_opt s.succs n with
+          | Some es -> List.iter (fun dst -> add_set_to_pts s dst nd) !es
+          | None -> ()
+        end;
         loop ()
   in
   loop ()
@@ -268,6 +299,8 @@ let analyze (prog : Program.t) : t =
       objs = [];
       nobj = 0;
       pts = NTbl.create 1024;
+      delta = NTbl.create 1024;
+      queued = NTbl.create 256;
       succs = NTbl.create 1024;
       load_cons = NTbl.create 256;
       store_cons = NTbl.create 256;

@@ -41,6 +41,58 @@ let sweep ?(jobs = 1) ~f cases =
     List.iter (fun c -> Cache.merge_stats ~into:aggregate c) (List.rev !registry);
     (results, aggregate))
 
+type crash_subject = {
+  cs_id : string;
+  cs_program : Hippo_pmir.Program.t Lazy.t;
+  cs_setup : (string * int list) list;
+  cs_checker : string;
+  cs_checker_args : int list;
+}
+
+module Crashsim = Hippo_pmcheck.Crashsim
+
+(* Same shape as [sweep], with a per-domain recovery memo in place of the
+   analysis cache: subjects that land on one domain and reach identical
+   durable images (e.g. the same case before and after a bug-free prefix)
+   share recovery verdicts. Each task sweeps serially — the parallelism
+   budget is spent across subjects, not within one sweep — and verdict
+   lists never depend on the memo, so any [jobs] prints identically. *)
+let crash_corpus ?config ?(jobs = 1) ?strategy subjects =
+  List.iter (fun s -> ignore (Lazy.force s.cs_program)) subjects;
+  let run ~memo s =
+    let verdicts, stats =
+      Crashsim.sweep_with_stats ?config ?strategy ~memo
+        (Lazy.force s.cs_program) ~setup:s.cs_setup ~checker:s.cs_checker
+        ~checker_args:s.cs_checker_args
+    in
+    (s, verdicts, stats)
+  in
+  if jobs <= 1 then (
+    let memo = Crashsim.Memo.create () in
+    (List.map (run ~memo) subjects, memo))
+  else (
+    let registry = ref [] in
+    let registry_mutex = Mutex.create () in
+    let per_domain =
+      Domain.DLS.new_key (fun () ->
+          let memo = Crashsim.Memo.create () in
+          Mutex.lock registry_mutex;
+          registry := memo :: !registry;
+          Mutex.unlock registry_mutex;
+          memo)
+    in
+    let results =
+      Pool.run ~domains:jobs (fun pool ->
+          Pool.map pool
+            (fun s -> run ~memo:(Domain.DLS.get per_domain) s)
+            subjects)
+    in
+    let aggregate = Crashsim.Memo.create () in
+    List.iter
+      (fun m -> Crashsim.Memo.merge_stats ~into:aggregate m)
+      (List.rev !registry);
+    (results, aggregate))
+
 let corpus ?options ?jobs cases =
   sweep ?jobs
     ~f:(fun ~cache (case : Case.t) ->

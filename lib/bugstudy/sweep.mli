@@ -37,3 +37,31 @@ val corpus :
   ?jobs:int ->
   Case.t list ->
   (Case.t * Driver.result) list * Hippo_engine.Cache.t
+
+(** One crash-sweep subject: a program plus the workload and recovery
+    checker that define its crash scenarios. *)
+type crash_subject = {
+  cs_id : string;
+  cs_program : Hippo_pmir.Program.t Lazy.t;
+  cs_setup : (string * int list) list;
+  cs_checker : string;
+  cs_checker_args : int list;
+}
+
+(** [crash_corpus ?jobs subjects] crash-sweeps every subject across a
+    domain pool, one subject per task, mirroring {!sweep}'s cache story
+    with {!Hippo_pmcheck.Crashsim.Memo} tables: every worker domain
+    memoizes recovery verdicts into its own table (created on first use),
+    and the per-domain counters are folded into the returned aggregate —
+    read-only, reporting only. Verdict lists never depend on memo
+    contents, so results are byte-identical at any [jobs]. *)
+val crash_corpus :
+  ?config:Hippo_pmcheck.Interp.config ->
+  ?jobs:int ->
+  ?strategy:Hippo_pmcheck.Crashsim.strategy ->
+  crash_subject list ->
+  (crash_subject
+  * Hippo_pmcheck.Crashsim.verdict list
+  * Hippo_pmcheck.Crashsim.stats)
+  list
+  * Hippo_pmcheck.Crashsim.Memo.t

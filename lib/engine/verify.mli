@@ -37,4 +37,41 @@ val check :
   repaired:Program.t ->
   outcome
 
+type crash_report = {
+  original_consistent : bool;
+  repaired_consistent : bool;
+  original_stats : Hippo_pmcheck.Crashsim.stats;
+  repaired_stats : Hippo_pmcheck.Crashsim.stats;
+}
+
+(** The repair turned a crash-inconsistent program consistent. *)
+val crash_improved : crash_report -> bool
+
+(** [check_crash_consistency ~config ~setup ~checker ~checker_args
+    ~original ~repaired ()] sweeps every crash point of both programs
+    (single-pass by default) and reports whether each recovers at all of
+    them. The sweeps share one memo table keyed under the original's
+    signature — sound because a harm-free repair preserves working-image
+    semantics, so the two checkers agree on every image; durable images
+    the repair leaves unchanged are recovered once, not twice. [memo]
+    extends the sharing across calls (e.g. candidate repairs of one
+    program). *)
+val check_crash_consistency :
+  ?jobs:int ->
+  ?strategy:Hippo_pmcheck.Crashsim.strategy ->
+  ?memo:Hippo_pmcheck.Crashsim.Memo.t ->
+  config:Interp.config ->
+  setup:(string * int list) list ->
+  checker:string ->
+  checker_args:int list ->
+  original:Program.t ->
+  repaired:Program.t ->
+  unit ->
+  crash_report
+
+(** Fold a crash report into an outcome, setting
+    [crash_consistent_improved] to whether the {e repaired} program
+    recovers at every crash point. *)
+val with_crash_report : outcome -> crash_report -> outcome
+
 val pp : Format.formatter -> outcome -> unit

@@ -12,7 +12,17 @@
     line happened to be evicted before the crash — the case that makes
     durability bugs so hard to observe in testing). A bug is
     {e demonstrated} when the lucky image recovers but the pessimistic one
-    does not. *)
+    does not.
+
+    Sweeps have two strategies. [`Single_pass] (the default) runs the
+    workload once with image tracking on, captures a fingerprint pair per
+    crash point plus an O(touched-bytes) snapshot per {e distinct} image,
+    and runs recovery once per distinct image not already in the memo
+    table — O(workload + k·recovery) for [k] distinct images. [`Replay]
+    re-executes the workload prefix per crash point (O(n²)) and is kept
+    for differential testing. Both produce byte-identical verdict lists
+    at every [jobs] setting. Dedup is sound because recovery is a pure
+    function of the crash image (DESIGN.md §7b). *)
 
 type verdict = {
   crash_index : int;
@@ -22,10 +32,43 @@ type verdict = {
 
 val consistent : verdict -> bool
 
+type strategy = [ `Single_pass | `Replay ]
+
+type stats = {
+  crash_points : int;
+  distinct_pessimistic : int;  (** distinct durable images over the sweep *)
+  distinct_lucky : int;  (** distinct working images over the sweep *)
+  distinct_images : int;  (** distinct images overall (the two can meet) *)
+  recovery_runs : int;  (** checker executions actually performed *)
+  memo_hits : int;  (** image checks answered without running recovery *)
+}
+
+(** Memoized recovery verdicts keyed by (program, checker, checker args,
+    image fingerprint). Pass one table to several single-pass sweeps —
+    e.g. the original and repaired program in {!Hippo_engine.Verify}, or
+    every case a corpus worker domain processes — and repeated durable
+    images cost nothing. Reuse assumes the sweeps share an interpreter
+    config. Not domain-safe: share per domain and merge statistics
+    afterwards ({!Memo.merge_stats}). *)
+module Memo : sig
+  type t
+
+  val create : unit -> t
+  val hits : t -> int
+  val misses : t -> int
+
+  (** Number of memoized (image, checker) verdicts. *)
+  val size : t -> int
+
+  (** Fold [m]'s hit/miss counters into [into] (read-only reporting merge
+      of per-domain tables). *)
+  val merge_stats : into:t -> t -> unit
+end
+
 (** [check_crash prog ~setup ~checker ~checker_args ~crash_index] runs the
     host-call list [setup], stopping at the given crash point, then
     recovers both images with [checker]. Raises [Invalid_argument] when
-    the workload has fewer crash points. *)
+    the workload has fewer crash points. This is the [`Replay] primitive. *)
 val check_crash :
   ?config:Interp.config ->
   Hippo_pmir.Program.t ->
@@ -35,21 +78,45 @@ val check_crash :
   crash_index:int ->
   verdict
 
-(** Count the crash points a workload passes through. *)
+(** Count the crash points a workload passes through — one uninstrumented
+    run reading the interpreter's crash-point counter; no trace is built. *)
 val count_crash_points :
   ?config:Interp.config ->
   Hippo_pmir.Program.t ->
   setup:(string * int list) list ->
   int
 
-(** Check every crash point of the workload, in crash-point order. Each
-    crash point is an independent scenario on its own interpreter, so
-    [jobs > 1] (default 1) fans them out over a domain pool; submission
-    -order collection keeps the verdict list identical to the serial
-    sweep. *)
+(** Digest of the printed program — the program component of memo keys. *)
+val program_sig : Hippo_pmir.Program.t -> string
+
+(** Check every crash point of the workload, in crash-point order, and
+    report dedup statistics alongside the verdicts. [jobs > 1] (default 1)
+    fans recovery runs (single-pass) or whole scenarios (replay) out over
+    a domain pool; submission-order collection keeps the verdict list
+    identical to the serial sweep. [memo] (single-pass only) carries
+    recovery verdicts across sweeps; omitted, each sweep memoizes
+    privately (within-sweep dedup still applies). [memo_sig] overrides
+    the program component of the memo key; pass one signature for two
+    programs only when their checkers are known equivalent on every image
+    (original vs harm-free repair). *)
+val sweep_with_stats :
+  ?config:Interp.config ->
+  ?jobs:int ->
+  ?strategy:strategy ->
+  ?memo:Memo.t ->
+  ?memo_sig:string ->
+  Hippo_pmir.Program.t ->
+  setup:(string * int list) list ->
+  checker:string ->
+  checker_args:int list ->
+  verdict list * stats
+
+(** {!sweep_with_stats} without the statistics. *)
 val sweep :
   ?config:Interp.config ->
   ?jobs:int ->
+  ?strategy:strategy ->
+  ?memo:Memo.t ->
   Hippo_pmir.Program.t ->
   setup:(string * int list) list ->
   checker:string ->
@@ -61,6 +128,8 @@ val sweep :
 val crash_consistent :
   ?config:Interp.config ->
   ?jobs:int ->
+  ?strategy:strategy ->
+  ?memo:Memo.t ->
   Hippo_pmir.Program.t ->
   setup:(string * int list) list ->
   checker:string ->

@@ -54,6 +54,7 @@ type config = {
   fuel : int;  (** maximum interpreted instructions *)
   cost : Cost.t option;  (** account simulated latency *)
   stop_at_crash : int option;  (** halt at the n-th crash point (1-based) *)
+  track_images : bool;  (** fingerprint both PM images incrementally *)
   vol_size : int;
   stack_size : int;
   global_size : int;
@@ -66,6 +67,7 @@ let default_config =
     fuel = 200_000_000;
     cost = None;
     stop_at_crash = None;
+    track_images = false;
     vol_size = 1 lsl 24;
     stack_size = 1 lsl 22;
     global_size = 1 lsl 20;
@@ -175,6 +177,9 @@ type t = {
   mutable output_rev : int list;
   mutable cost_ns : float;
   mutable crashes_hit : int;
+  mutable crash_hook : (unit -> unit) option;
+      (** fired at every explicit crash point (the single-pass sweep's
+          image-capture callback) *)
   mutable frames : Trace.stack;  (** current call stack, innermost first *)
   stats : Sitestats.t;  (** per-site pointer-class observations *)
 }
@@ -186,7 +191,7 @@ let create ?pm_image (cfg : config) (prog : Program.t) : t =
   let mem =
     Mem.create ~vol_size:cfg.vol_size ~stack_size:cfg.stack_size
       ~global_size:cfg.global_size ~pm_size:cfg.pm_size ?pm_image
-      (Program.globals prog)
+      ~track_images:cfg.track_images (Program.globals prog)
   in
   let global_addr = Mem.global_addr mem in
   let pfuncs =
@@ -206,11 +211,18 @@ let create ?pm_image (cfg : config) (prog : Program.t) : t =
     output_rev = [];
     cost_ns = 0.0;
     crashes_hit = 0;
+    crash_hook = None;
     frames = [];
     stats = Sitestats.create ();
   }
 
 let mem t = t.mem
+let set_crash_hook t f = t.crash_hook <- Some f
+
+(** Explicit crash points passed so far — maintained whether or not the
+    trace is recorded, so callers can count crash points without
+    materializing a trace. *)
+let crash_points_hit t = t.crashes_hit
 
 let next_seq t =
   let s = t.seq in
@@ -233,6 +245,7 @@ let record_crash_point t ~iid ~loc =
     (Trace.Crash_point { iid; loc; stack = t.frames; seq = next_seq t });
   let bugs = Pstate.unpersisted_bugs t.ps ~crash in
   t.bugs_rev <- List.rev_append bugs t.bugs_rev;
+  (match t.crash_hook with Some f -> f () | None -> ());
   match t.cfg.stop_at_crash with
   | Some n when t.crashes_hit >= n -> raise Stopped_at_crash
   | _ -> ()

@@ -33,6 +33,9 @@ type config = {
   fuel : int;  (** maximum interpreted instructions *)
   cost : Cost.t option;  (** account simulated latency *)
   stop_at_crash : int option;  (** halt at the n-th crash point (1-based) *)
+  track_images : bool;
+      (** maintain incremental {!Imghash} fingerprints of both PM images
+          (the single-pass crash sweep's capture mode; default false) *)
   vol_size : int;
   stack_size : int;
   global_size : int;
@@ -48,6 +51,16 @@ type t
 val create : ?pm_image:Bytes.t -> config -> Program.t -> t
 
 val mem : t -> Mem.t
+
+(** [set_crash_hook t f] fires [f] at every explicit crash point, after
+    bug collection and before any [stop_at_crash] stop — the single-pass
+    sweep's image-capture callback. *)
+val set_crash_hook : t -> (unit -> unit) -> unit
+
+(** Explicit crash points passed so far. Maintained whether or not the
+    trace is recorded, so crash points can be counted without
+    materializing a trace. *)
+val crash_points_hit : t -> int
 
 (** [call t name args] invokes a function from the host (as a test driver
     invokes the program under valgrind). Persistency state, trace and

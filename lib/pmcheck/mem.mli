@@ -6,13 +6,20 @@
     image when they become durable (flush + fence, or [clflush]).
 
     PMIR is a 63-bit machine (OCaml ints): 8-byte stores mask the sign
-    extension so byte 7 round-trips through byte-wise loads. *)
+    extension so byte 7 round-trips through byte-wise loads.
+
+    With [~track_images:true] the memory additionally maintains, at
+    O(bytes changed) per operation, a live {!Imghash} fingerprint of both
+    images plus a touched-bytes watermark — the machinery behind the
+    single-pass crash sweep's image capture and dedup ({!Crashsim}). *)
 
 exception Trap of string
 (** Raised on invalid accesses (out of bounds, null page, wild pointers,
     bad sizes) and resource exhaustion. *)
 
 val trap : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+type tracker
 
 type t = {
   vol : Bytes.t;
@@ -24,16 +31,19 @@ type t = {
   mutable stack_brk : int;
   mutable pm_brk : int;
   global_addrs : (string * int) list;
+  track : tracker option;
 }
 
 (** [create globals] builds a fresh memory; [?pm_image] seeds both PM
-    images (a restart from a previous durable image). *)
+    images (a restart from a previous durable image); [?track_images]
+    (default false) turns on image fingerprinting and snapshots. *)
 val create :
   ?vol_size:int ->
   ?stack_size:int ->
   ?global_size:int ->
   ?pm_size:int ->
   ?pm_image:Bytes.t ->
+  ?track_images:bool ->
   (string * int) list ->
   t
 
@@ -48,11 +58,37 @@ val store : t -> addr:int -> size:int -> int -> unit
     persisted image (called by {!Pstate} when a range becomes durable). *)
 val persist_range : t -> addr:int -> size:int -> unit
 
+(** [persist_string t ~addr s] makes a flush-time snapshot durable — the
+    snapshot bytes, not the current working bytes, are what the flush
+    wrote back ({!Pstate}'s write-pending-queue drain). *)
+val persist_string : t -> addr:int -> string -> unit
+
 (** Snapshot of the durable image: the post-crash PM contents. *)
 val crash_image : t -> Bytes.t
 
 (** Snapshot of the working image (as if everything had reached PM). *)
 val working_image : t -> Bytes.t
+
+(** Whether image tracking is on. The digest and snapshot functions below
+    trap when it is not. *)
+val tracking : t -> bool
+
+(** Live fingerprint of the working image, maintained incrementally. *)
+val working_digest : t -> Imghash.digest
+
+(** Live fingerprint of the durable image, maintained incrementally. *)
+val durable_digest : t -> Imghash.digest
+
+type pm_snapshot
+(** A compact captured image: the touched-bytes prefix plus a shared
+    reference to the creation-time image. O(touched bytes) to take. *)
+
+val snapshot_durable : t -> pm_snapshot
+val snapshot_working : t -> pm_snapshot
+
+(** Materialize a snapshot as a full PM image, suitable for
+    [create ?pm_image]. *)
+val snapshot_to_image : pm_snapshot -> Bytes.t
 
 val alloc_vol : t -> int -> int
 

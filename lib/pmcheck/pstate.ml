@@ -94,10 +94,10 @@ let store_nt t mem ~iid ~loc ~stack ~addr ~size ~seq =
 
 (* Make a record's flush-time snapshot durable. The snapshot (not the
    current working bytes) is what the flush wrote back: stores issued to
-   the same range after the flush but before the fence are not covered. *)
+   the same range after the flush but before the fence are not covered.
+   Routed through Mem so the durable-image fingerprint stays current. *)
 let commit_snapshot mem (r : record) =
-  let off = r.addr - Layout.pm_base in
-  Bytes.blit_string r.snapshot 0 mem.Mem.pm_persisted off (String.length r.snapshot)
+  Mem.persist_string mem ~addr:r.addr r.snapshot
 
 let remove_record t (r : record) =
   let line_lo = Layout.line_of_addr r.addr

@@ -210,6 +210,7 @@ bug demonstrated end to end:
     [missing-flush&fence] store at counter.c:12 (bump#18), 0x40000040+8, unpersisted at <exit>:0
     crash point  1: pessimistic LOST, lucky recovers
     crash point  2: pessimistic LOST, lucky recovers
+  crash images: 4 distinct of 4 captured; recovery runs: 4 (0 memoized)
   crash consistent: NO (0/2 crash points recover)
   [1]
 
@@ -217,6 +218,19 @@ After repair the pessimistic image recovers at every crash point:
 
   $ hippocrates fix counter.pmir -o counter.fixed.pmir 2>/dev/null
   $ hippocrates check counter.fixed.pmir --crash-sweep check --jobs 2
+  main() returned 0
+  PM stores: 6, flushes: 6, fences: 5
+  durability bugs: 0
+    crash point  1: pessimistic recovers, lucky recovers
+    crash point  2: pessimistic recovers, lucky recovers
+  crash images: 2 distinct of 4 captured; recovery runs: 2 (2 memoized)
+  crash consistent: yes (2/2 crash points recover)
+
+`--crash-strategy replay` re-executes the workload prefix per crash
+point (the historical O(n^2) path, kept for differential testing); the
+verdicts are identical, with no dedup statistics to report:
+
+  $ hippocrates check counter.fixed.pmir --crash-sweep check --crash-strategy replay --jobs 2
   main() returned 0
   PM stores: 6, flushes: 6, fences: 5
   durability bugs: 0

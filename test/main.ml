@@ -11,6 +11,7 @@ let () =
       ("driver", Test_driver.suite);
       ("engine", Test_engine.suite);
       ("parallel", Test_parallel.suite);
+      ("crashsim", Test_crashsim.suite);
       ("pmir-gen", Test_pmir_gen.suite);
       ("staticcheck", Test_staticcheck.suite);
       ("corpus", Test_corpus.suite);

@@ -27,6 +27,12 @@ type step =
                                  later step happens to persist the slot *)
   | S_flush of int
   | S_fence
+  (* checker-mode steps (crash-sweep programs only): each slot has a
+     shadow copy and the recovery invariant is slot == shadow *)
+  | S_pair of int * int  (* slot and shadow both written and persisted *)
+  | S_half of int * int  (* slot persisted, shadow left unflushed: the
+                            durable image breaks the invariant *)
+  | S_crash  (* explicit crash point *)
 
 let bug_free_cases sv slot =
   let open QCheck.Gen in
@@ -63,7 +69,13 @@ let gen_mixed_steps : step list QCheck.Gen.t =
         (2, return S_fence);
       ])
 
-let program_of_steps steps : Program.t =
+(* Shadow slots (checker mode) live on their own cache lines above the
+   primary slots. *)
+let shadow_off k = (slots + k) * 64
+
+let checker_name = "check_inv"
+
+let program_of_steps ?(checker = false) steps : Program.t =
   let b = Builder.create () in
   let open Builder in
   (* interprocedural persist chain: store + flush + fence behind a call,
@@ -78,9 +90,12 @@ let program_of_steps steps : Program.t =
   in
   let _ =
     func b "main" [] ~body:(fun fb ->
-        let pm = call fb "pm_alloc" [ i (slots * 64) ] in
+        let pm =
+          call fb "pm_alloc" [ i ((if checker then 2 * slots else slots) * 64) ]
+        in
         let vol = call fb "malloc" [ i (slots * 8) ] in
         let pm_slot k = gep fb pm (i (slot_off k)) in
+        let shadow_slot k = gep fb pm (i (shadow_off k)) in
         let vol_slot k = gep fb vol (i (k * 8)) in
         List.iter
           (function
@@ -101,10 +116,40 @@ let program_of_steps steps : Program.t =
             | S_emit s -> call_void fb "emit" [ load fb (pm_slot s) ]
             | S_store_raw (s, x) -> store fb ~addr:(pm_slot s) (i x)
             | S_flush s -> flush fb (pm_slot s)
-            | S_fence -> fence fb ())
+            | S_fence -> fence fb ()
+            | S_pair (s, x) ->
+                let p = pm_slot s and sh = shadow_slot s in
+                store fb ~addr:p (i x);
+                store fb ~addr:sh (i x);
+                flush fb p;
+                flush fb sh;
+                fence fb ()
+            | S_half (s, x) ->
+                let p = pm_slot s and sh = shadow_slot s in
+                store fb ~addr:p (i x);
+                flush fb p;
+                fence fb ();
+                store fb ~addr:sh (i x)
+            | S_crash -> crash fb)
           steps;
         ret_void fb)
   in
+  (if checker then
+     (* post-restart invariant: every slot equals its shadow; the lucky
+        image always satisfies it after S_pair/S_half (both write the
+        pair), the durable image loses S_half's shadow *)
+     let _ =
+       func b checker_name [] ~body:(fun fb ->
+           let base = call fb "pm_base" [] in
+           let acc = ref (i 1) in
+           for k = 0 to slots - 1 do
+             let a = load fb (gep fb base (i (slot_off k))) in
+             let s = load fb (gep fb base (i (shadow_off k))) in
+             acc := band fb !acc (eq fb a s)
+           done;
+           ret fb !acc)
+     in
+     ());
   let p = Builder.program b in
   Validate.check_exn p;
   p
@@ -120,6 +165,32 @@ let arb_bug_free =
 let arb_mixed =
   QCheck.make
     QCheck.Gen.(map program_of_steps gen_mixed_steps)
+    ~print:Printer.to_string
+
+(* Crash-sweep programs: slot/shadow pairs, frequent crash points, and a
+   small value range so durable images repeat — exercising both the
+   LOST/recovers split and the dedup/memo path of the single-pass sweep. *)
+let gen_crash_steps : step list QCheck.Gen.t =
+  let open QCheck.Gen in
+  let slot = int_range 0 (slots - 1) in
+  let value = int_range 1 4 in
+  let sv = pair slot value in
+  list_size (int_range 1 15)
+    (frequency
+       [
+         (3, map (fun (s, x) -> S_pair (s, x)) sv);
+         (3, map (fun (s, x) -> S_half (s, x)) sv);
+         (3, return S_crash);
+         (1, map (fun (s, x) -> S_vol_store (s, x)) sv);
+         (1, map (fun s -> S_emit s) slot);
+       ])
+
+(** Crash-sweep subjects: programs with explicit crash points and an
+    in-program recovery checker ({!checker_name}) whose invariant the
+    durable image can break while the working image satisfies it. *)
+let arb_crash =
+  QCheck.make
+    QCheck.Gen.(map (program_of_steps ~checker:true) gen_crash_steps)
     ~print:Printer.to_string
 
 let workload t = ignore (Hippo_pmcheck.Interp.call t "main" [])
