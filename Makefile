@@ -1,5 +1,5 @@
 .PHONY: all build check test bench bench-static bench-par bench-crash \
-	bench-json trace-demo clean fmt
+	bench-json bench-fuzz fuzz-smoke trace-demo clean fmt
 
 all: build
 
@@ -31,6 +31,17 @@ bench-crash:
 # Same, with machine-readable results at the repo root (CI artifact).
 bench-json:
 	dune exec bench/main.exe -- table_crash --json BENCH_pr4.json
+
+# Coverage-guided fuzzing vs blind generation at equal exec counts.
+bench-fuzz:
+	dune exec bench/main.exe -- table_fuzz --seed 42
+
+# Deterministic 60-second-class fuzz smoke: fixed seed and exec budget,
+# exits non-zero on any oracle violation, saves corpus + shrunk
+# reproducers under fuzz-smoke/.
+fuzz-smoke:
+	dune exec bin/hippocrates_cli.exe -- fuzz --smoke --seed 42 \
+	  --jobs 2 --corpus fuzz-smoke
 
 # One corpus case end to end with engine tracing: JSON-lines events to
 # trace-demo.jsonl, per-phase timing breakdown on stderr.

@@ -21,12 +21,16 @@
                                       worker domains (jobs 1 vs 2 vs 4)
      bench/main.exe table_crash     — single-pass dedup crash sweep vs
                                       per-crash-point replay
+     bench/main.exe table_fuzz      — coverage-guided fuzzing vs blind
+                                      generation at equal exec counts
      bench/main.exe micro           — bechamel micro-benchmarks
 
    `--jobs N` sets the domain budget for every corpus sweep (default:
    HIPPO_JOBS or the machine's recommended domain count). `--jobs 1` is
-   byte-identical to the historical serial harness. `--json FILE` writes
-   the results of json-aware experiments (table_crash) to FILE. *)
+   byte-identical to the historical serial harness. `--seed N` seeds the
+   seed-threaded experiments (table_fuzz; default 0). `--json FILE`
+   writes the results of json-aware experiments (table_crash,
+   table_fuzz) to FILE. *)
 
 open Hippo_pmir
 open Hippo_pmcheck
@@ -788,6 +792,65 @@ let table_crash () =
       ("verdicts_identical", `Bool all_identical);
     ]
 
+(* fuzz — coverage-guided mutation vs coverage-blind generation ------- *)
+
+let seed = ref 0
+
+let table_fuzz () =
+  section
+    (Fmt.str
+       "fuzz — guided mutation vs blind generation at equal exec counts \
+        (seed %d, --jobs %d)"
+       !seed !jobs);
+  Fmt.pr "  %-8s %8s %8s %10s %8s %s@." "execs" "guided" "blind" "corpus"
+    "violations" "guided>blind";
+  let rows =
+    List.map
+      (fun execs ->
+        let s =
+          Hippo_fuzz.Fuzzer.run
+            {
+              Hippo_fuzz.Fuzzer.default_config with
+              Hippo_fuzz.Fuzzer.seed = !seed;
+              jobs = !jobs;
+              max_execs = execs;
+            }
+        in
+        let ahead = s.Hippo_fuzz.Fuzzer.edges > s.Hippo_fuzz.Fuzzer.blind_edges in
+        Fmt.pr "  %-8d %8d %8d %10d %8d %s@." execs
+          s.Hippo_fuzz.Fuzzer.edges s.Hippo_fuzz.Fuzzer.blind_edges
+          s.Hippo_fuzz.Fuzzer.corpus_size
+          (List.length s.Hippo_fuzz.Fuzzer.found)
+          (if ahead then "yes" else "NO");
+        (execs, s, ahead))
+      [ 64; 128; 256 ]
+  in
+  let all_ahead = List.for_all (fun (_, _, a) -> a) rows in
+  Fmt.pr
+    "  guided coverage strictly exceeds the blind baseline at every exec \
+     count: %s@."
+    (if all_ahead then "yes" else "NO");
+  `Assoc
+    [
+      ("seed", `Int !seed);
+      ( "rows",
+        `List
+          (List.map
+             (fun (execs, (s : Hippo_fuzz.Fuzzer.summary), ahead) ->
+               `Assoc
+                 [
+                   ("execs", `Int execs);
+                   ("guided_edges", `Int s.Hippo_fuzz.Fuzzer.edges);
+                   ("blind_edges", `Int s.Hippo_fuzz.Fuzzer.blind_edges);
+                   ("corpus_size", `Int s.Hippo_fuzz.Fuzzer.corpus_size);
+                   ("corpus_digest", `String s.Hippo_fuzz.Fuzzer.corpus_digest);
+                   ("violations", `Int (List.length s.Hippo_fuzz.Fuzzer.found));
+                   ("guided_ahead", `Bool ahead);
+                 ])
+             rows) );
+      ("guided_ahead_all", `Bool all_ahead);
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* --json FILE: machine-readable results (hand-rolled serializer; no
    JSON library in the toolchain). *)
@@ -864,6 +927,11 @@ let () =
     | "--json" :: path :: rest ->
         json_file := Some path;
         strip_opts rest
+    | "--seed" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some k -> seed := k
+        | None -> Fmt.epr "--seed expects an integer, got %S@." n);
+        strip_opts rest
     | a :: rest -> a :: strip_opts rest
     | [] -> []
   in
@@ -884,6 +952,7 @@ let () =
     table_main ();
     table_par ();
     add_json "table_crash" (table_crash ());
+    add_json "table_fuzz" (table_fuzz ());
     micro ()
   in
   (match cmds with
@@ -906,6 +975,7 @@ let () =
           | "table_main" -> table_main ()
           | "table_par" -> table_par ()
           | "table_crash" -> add_json "table_crash" (table_crash ())
+          | "table_fuzz" -> add_json "table_fuzz" (table_fuzz ())
           | "micro" -> micro ()
           | other -> Fmt.epr "unknown experiment %S@." other)
         cmds);

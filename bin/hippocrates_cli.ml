@@ -75,6 +75,14 @@ let jobs_arg =
               machine's recommended domain count. $(b,--jobs 1) is fully \
               serial, with byte-identical output.")
 
+let seed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:"Root RNG seed for randomized modes (fuzzing, crash-point \
+              sampling). Every worker derives its own substream from this \
+              one value, so results are reproducible at any $(b,--jobs).")
+
 type trace_format = Pmemcheck | Pmtest
 
 let format_arg =
@@ -134,9 +142,35 @@ let check_cmd =
                 prefix per crash point). Verdicts are identical; \
                 single-pass also prints dedup statistics.")
   in
+  let crash_sample_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "crash-sample" ] ~docv:"K"
+          ~doc:"With $(b,--crash-sweep), check only $(docv) crash points \
+                sampled uniformly (seeded by $(b,--seed)) instead of every \
+                one — a bounded probe for workloads with many crash \
+                points.")
+  in
   let run prog_path entry args trace_out format static crash_sweep
-      crash_strategy jobs =
+      crash_strategy crash_sample seed jobs =
     let ( let* ) = Result.bind in
+    let sampled_sweep prog ~setup ~checker =
+      let n = Crashsim.count_crash_points prog ~setup in
+      let k = min crash_sample n in
+      Fmt.pr "seed: %d (sampling %d of %d crash points)@." seed k n;
+      let rand = Hippo_parallel.Stream.state ~seed [ 2 ] in
+      let chosen = Hashtbl.create 16 in
+      while Hashtbl.length chosen < k do
+        Hashtbl.replace chosen (1 + Random.State.int rand n) ()
+      done;
+      let indices = List.sort compare (Hashtbl.fold (fun i () acc -> i :: acc) chosen []) in
+      ( List.map
+          (fun crash_index ->
+            Crashsim.check_crash prog ~setup ~checker ~checker_args:[]
+              ~crash_index)
+          indices,
+        None )
+    in
     let crash_sweep_check prog ~args =
       match crash_sweep with
       | None -> Ok 0
@@ -144,10 +178,16 @@ let check_cmd =
           Error (Fmt.str "--crash-sweep: no function %S in the program" checker)
       | Some checker ->
           let verdicts, stats =
-            Crashsim.sweep_with_stats ~jobs:(max 1 jobs)
-              ~strategy:crash_strategy prog
-              ~setup:[ (entry, args) ]
-              ~checker ~checker_args:[]
+            if crash_sample > 0 then
+              sampled_sweep prog ~setup:[ (entry, args) ] ~checker
+            else
+              let v, s =
+                Crashsim.sweep_with_stats ~jobs:(max 1 jobs)
+                  ~strategy:crash_strategy prog
+                  ~setup:[ (entry, args) ]
+                  ~checker ~checker_args:[]
+              in
+              (v, Some s)
           in
           List.iter
             (fun (v : Crashsim.verdict) ->
@@ -156,15 +196,15 @@ let check_cmd =
                 (if v.Crashsim.pessimistic_ok then "recovers" else "LOST")
                 (if v.Crashsim.lucky_ok then "recovers" else "LOST"))
             verdicts;
-          (match crash_strategy with
-          | `Single_pass ->
+          (match (crash_strategy, stats) with
+          | `Single_pass, Some stats ->
               Fmt.pr
                 "crash images: %d distinct of %d captured; recovery runs: \
                  %d (%d memoized)@."
                 stats.Crashsim.distinct_images
                 (2 * stats.Crashsim.crash_points)
                 stats.Crashsim.recovery_runs stats.Crashsim.memo_hits
-          | `Replay -> ());
+          | _ -> ());
           let ok = List.filter Crashsim.consistent verdicts in
           Fmt.pr "crash consistent: %s (%d/%d crash points recover)@."
             (if List.length ok = List.length verdicts then "yes" else "NO")
@@ -255,7 +295,7 @@ let check_cmd =
     Term.(
       const run $ prog_arg $ entry_arg $ entry_args_arg $ trace_out
       $ format_arg $ static_flag $ crash_sweep_arg $ crash_strategy_arg
-      $ jobs_arg)
+      $ crash_sample_arg $ seed_arg $ jobs_arg)
 
 (* fix --------------------------------------------------------------- *)
 
@@ -492,6 +532,76 @@ let run_cmd =
     (Cmd.info "run" ~exits ~doc:"Execute a PMIR program.")
     Term.(const run $ prog_arg $ entry_arg $ entry_args_arg)
 
+(* fuzz -------------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let time_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "time" ] ~docv:"SECONDS"
+          ~doc:"Wall-clock budget. A time-bounded run executes a \
+                scheduling-dependent number of candidates; use \
+                $(b,--execs) for bit-reproducible runs.")
+  in
+  let execs_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "execs" ] ~docv:"N"
+          ~doc:"Guided-execution budget (the coverage-blind baseline adds \
+                as many again). Default: 64 with $(b,--smoke), else 256 \
+                unless $(b,--time) is given.")
+  in
+  let corpus_dir_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Save the retained corpus ($(docv)/corpus/*.pmir) and \
+                shrunk reproducers + oracle transcripts \
+                ($(docv)/reproducers/).")
+  in
+  let smoke_flag =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"CI smoke mode: small fixed budget, fully deterministic \
+                output for a given $(b,--seed) at any $(b,--jobs).")
+  in
+  let run time execs seed corpus_dir smoke jobs =
+    let max_execs =
+      match execs with
+      | Some e -> e
+      | None -> if smoke then 64 else if time > 0. then max_int else 256
+    in
+    let cfg =
+      {
+        Hippo_fuzz.Fuzzer.seed;
+        jobs = max 1 jobs;
+        max_execs;
+        max_time = time;
+        corpus_dir;
+        smoke;
+      }
+    in
+    Fmt.pr "fuzz: seed %d, budget %s@." seed
+      (if max_execs < max_int then Fmt.str "%d execs" max_execs
+       else Fmt.str "%.0fs" time);
+    let s = Hippo_fuzz.Fuzzer.run cfg in
+    Fmt.pr "%a" Hippo_fuzz.Fuzzer.pp_summary s;
+    (match corpus_dir with
+    | Some dir -> Fmt.pr "corpus and reproducers saved under %s/@." dir
+    | None -> ());
+    if s.Hippo_fuzz.Fuzzer.found = [] then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~exits
+       ~doc:"Coverage-guided differential fuzzing of the detectors, the \
+             repair pipeline and the crash sweeps over generated PMIR; \
+             violations are delta-debugged to minimal $(b,.pmir) \
+             reproducers.")
+    Term.(
+      const run $ time_arg $ execs_arg $ seed_arg $ corpus_dir_arg
+      $ smoke_flag $ jobs_arg)
+
 (* corpus ------------------------------------------------------------ *)
 
 let corpus_cmd =
@@ -516,4 +626,6 @@ let () =
     Cmd.info "hippocrates" ~version:"1.0.0"
       ~doc:"Automatically fix persistent-memory durability bugs"
   in
-  exit (Cmd.eval' (Cmd.group info [ check_cmd; fix_cmd; run_cmd; corpus_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ check_cmd; fix_cmd; run_cmd; fuzz_cmd; corpus_cmd ]))

@@ -1,0 +1,71 @@
+open Hippo_pmir
+open Hippo_pmcheck
+
+type entry = {
+  digest : string;
+  prog : Program.t;
+  verdict : string;
+  origin : string;
+  hot : (string * string) list;
+}
+
+type t = {
+  mutable entries_rev : entry list;
+  mutable count : int;
+  cov : Coverage.t;
+  seen_digests : (string, unit) Hashtbl.t;
+  seen_verdicts : (string, unit) Hashtbl.t;
+}
+
+let create () =
+  {
+    entries_rev = [];
+    count = 0;
+    cov = Coverage.create ();
+    seen_digests = Hashtbl.create 256;
+    seen_verdicts = Hashtbl.create 64;
+  }
+
+let consider t ~origin prog (o : Oracle.outcome) =
+  let fresh_edges = Coverage.add ~into:t.cov o.Oracle.edges in
+  let digest = Crashsim.program_sig prog in
+  if Hashtbl.mem t.seen_digests digest then `Dup
+  else begin
+    Hashtbl.add t.seen_digests digest ();
+    let new_verdict = not (Hashtbl.mem t.seen_verdicts o.Oracle.verdict) in
+    Hashtbl.replace t.seen_verdicts o.Oracle.verdict ();
+    if fresh_edges > 0 || new_verdict then begin
+      let hot = Oracle.hot_blocks prog o.Oracle.edges in
+      t.entries_rev <-
+        { digest; prog; verdict = o.Oracle.verdict; origin; hot }
+        :: t.entries_rev;
+      t.count <- t.count + 1;
+      `Added
+    end
+    else `Boring
+  end
+
+let size t = t.count
+let edge_count t = Coverage.count t.cov
+let entries t = List.rev t.entries_rev
+
+let pick t rand =
+  if t.count = 0 then None
+  else Some (List.nth t.entries_rev (Random.State.int rand t.count))
+
+let digest t =
+  List.map (fun e -> e.digest) t.entries_rev
+  |> List.sort compare |> String.concat "" |> Digest.string |> Digest.to_hex
+
+let save t ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iteri
+    (fun k e ->
+      let name =
+        Printf.sprintf "%03d-%s.pmir" k
+          (String.sub (Digest.to_hex e.digest) 0 12)
+      in
+      let oc = open_out (Filename.concat dir name) in
+      output_string oc (Printer.to_string e.prog);
+      close_out oc)
+    (entries t)

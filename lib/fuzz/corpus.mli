@@ -1,0 +1,51 @@
+(** The fuzzer's corpus: retained candidates plus cumulative coverage.
+
+    Retention policy: a candidate enters the corpus when it is not a
+    duplicate (by {!Hippo_pmcheck.Crashsim.program_sig} digest — the same
+    digest the recovery memo keys on) and it either marks a coverage-map
+    edge no earlier candidate marked or exhibits an oracle verdict string
+    never seen before. Consideration happens serially, in submission
+    order, which is what keeps the corpus byte-identical at any [--jobs]
+    width. *)
+
+open Hippo_pmir
+
+type entry = {
+  digest : string;  (** {!Hippo_pmcheck.Crashsim.program_sig} *)
+  prog : Program.t;
+  verdict : string;
+  origin : string;  (** ["gen"] or ["mut:<mutator>"] *)
+  hot : (string * string) list;
+      (** blocks this entry was observed to execute
+          ({!Oracle.hot_blocks}) — the mutators bias CFG edits toward
+          them so minted edges actually get marked *)
+}
+
+type t
+
+val create : unit -> t
+
+(** [consider t ~origin prog outcome] applies the retention policy.
+    Coverage from retained {e and} discarded candidates both accumulate
+    into the cumulative map (the guidance signal counts everything
+    executed). *)
+val consider :
+  t -> origin:string -> Program.t -> Oracle.outcome -> [ `Added | `Dup | `Boring ]
+
+val size : t -> int
+
+(** Distinct edges marked by every execution considered so far. *)
+val edge_count : t -> int
+
+(** Entries in insertion order. *)
+val entries : t -> entry list
+
+(** [pick t rand] draws a uniformly random entry (mutation parent). *)
+val pick : t -> Random.State.t -> entry option
+
+(** Hex digest over the sorted entry digests — the run's corpus
+    fingerprint (byte-identical across [--jobs] widths). *)
+val digest : t -> string
+
+(** Write each entry as [NNN-<digest prefix>.pmir] under [dir]. *)
+val save : t -> dir:string -> unit

@@ -1,12 +1,12 @@
 (* Randomized well-typed PMIR generator.
 
-   Produces programs mixing PM stores, flushes, fences, volatile traffic
-   and interprocedural persist helpers. The central export is
-   [arb_bug_free]: programs where every PM store is covered by a
-   store -> flush -> fence chain before any crash point or exit, so both
-   the dynamic finder and the static analyzer must report zero bugs —
-   the oracle for the static/dynamic differential property and a
-   fixed-point input for the repair determinism battery. *)
+   Produces programs mixing PM stores, flushes, fences, volatile traffic,
+   interprocedural persist helpers and data-dependent branches. The
+   central export is [arb_bug_free]: programs where every PM store is
+   covered by a store -> flush -> fence chain before any crash point or
+   exit, so both the dynamic finder and the static analyzer must report
+   zero bugs — the oracle for the static/dynamic differential property
+   and a fixed-point input for the repair determinism battery. *)
 
 open Hippo_pmir
 
@@ -23,6 +23,8 @@ type step =
   | S_batch of (int * int) list  (* stores, flush each, one fence *)
   | S_vol_store of int * int
   | S_emit of int
+  | S_guard of int * int  (* load slot, branch on value, emit 1 or 0 —
+                             control flow without durability ops *)
   | S_store_raw of int * int  (* bare PM store: a durability bug unless a
                                  later step happens to persist the slot *)
   | S_flush of int
@@ -42,6 +44,7 @@ let bug_free_cases sv slot =
     (2, map (fun ps -> S_batch ps) (list_size (int_range 1 3) sv));
     (2, map (fun (s, x) -> S_vol_store (s, x)) sv);
     (1, map (fun s -> S_emit s) slot);
+    (1, map (fun (s, x) -> S_guard (s, x)) sv);
   ]
 
 let gen_with cases : step list QCheck.Gen.t =
@@ -114,6 +117,13 @@ let program_of_steps ?(checker = false) steps : Program.t =
                 fence fb ()
             | S_vol_store (s, x) -> store fb ~addr:(vol_slot s) (i x)
             | S_emit s -> call_void fb "emit" [ load fb (pm_slot s) ]
+            | S_guard (s, x) ->
+                let v = load fb (pm_slot s) in
+                if_ fb
+                  (eq fb v (i x))
+                  ~then_:(fun () -> call_void fb "emit" [ i 1 ])
+                  ~else_:(fun () -> call_void fb "emit" [ i 0 ])
+                  ()
             | S_store_raw (s, x) -> store fb ~addr:(pm_slot s) (i x)
             | S_flush s -> flush fb (pm_slot s)
             | S_fence -> fence fb ()
@@ -183,6 +193,7 @@ let gen_crash_steps : step list QCheck.Gen.t =
          (3, return S_crash);
          (1, map (fun (s, x) -> S_vol_store (s, x)) sv);
          (1, map (fun s -> S_emit s) slot);
+         (1, map (fun (s, x) -> S_guard (s, x)) sv);
        ])
 
 (** Crash-sweep subjects: programs with explicit crash points and an
@@ -193,4 +204,12 @@ let arb_crash =
     QCheck.Gen.(map (program_of_steps ~checker:true) gen_crash_steps)
     ~print:Printer.to_string
 
+let random_mixed rand =
+  program_of_steps (QCheck.Gen.generate1 ~rand gen_mixed_steps)
+
+let random_crash rand =
+  program_of_steps ~checker:true (QCheck.Gen.generate1 ~rand gen_crash_steps)
+
+let has_checker p = Program.mem p checker_name
 let workload t = ignore (Hippo_pmcheck.Interp.call t "main" [])
+let setup = [ ("main", []) ]

@@ -1,0 +1,521 @@
+open Hippo_pmir
+
+type mutator = {
+  mname : string;
+  apply :
+    hot:(string * string) list ->
+    Random.State.t ->
+    Program.t ->
+    Program.t option;
+}
+
+(* Helpers ---------------------------------------------------------------- *)
+
+let pick rand = function
+  | [] -> None
+  | l -> Some (List.nth l (Random.State.int rand (List.length l)))
+
+(* Prefer sites on observed-hot blocks: a CFG edit on a block that never
+   executes mints edge names the coverage run can never mark. Falls back
+   to the full site list when nothing is hot. *)
+let pick_biased rand ~hot key = function
+  | [] -> None
+  | l ->
+      let hl =
+        if hot = [] then []
+        else List.filter (fun x -> List.mem (key x) hot) l
+      in
+      let l = if hl = [] then l else hl in
+      Some (List.nth l (Random.State.int rand (List.length l)))
+
+(* The recovery checker is never mutated: crash-sweep oracles compare its
+   verdicts across programs, so the invariant code must stay fixed. *)
+let eligible_funcs p =
+  List.filter (fun f -> Func.name f <> Gen.checker_name) (Program.funcs p)
+
+(* (function name, block label, index, instruction) of every eligible
+   instruction site, in program order. *)
+let positions p pred =
+  List.concat_map
+    (fun f ->
+      List.concat_map
+        (fun (b : Func.block) ->
+          List.filteri (fun _ (_, i) -> pred i) (List.mapi (fun k i -> (k, i)) b.instrs)
+          |> List.map (fun (k, i) -> (Func.name f, b.label, k, i)))
+        (Func.blocks f))
+    (eligible_funcs p)
+
+let edit_block p fname label g =
+  let f = Program.find_exn p fname in
+  let f' =
+    Func.map_blocks
+      (fun b -> if b.label = label then { b with instrs = g b.instrs } else b)
+      f
+  in
+  Program.update p f'
+
+let remove_nth k l = List.filteri (fun i _ -> i <> k) l
+
+let replace_nth k f l = List.mapi (fun i x -> if i = k then f x else x) l
+
+let insert_after k x l =
+  List.concat (List.mapi (fun i y -> if i = k then [ y; x ] else [ y ]) l)
+
+let splice_nth k xs l =
+  List.concat (List.mapi (fun i y -> if i = k then xs else [ y ]) l)
+
+let fresh_name rand taken prefix =
+  let rec go () =
+    let n = Printf.sprintf "%s%d" prefix (Random.State.int rand 100_000) in
+    if List.mem n taken then go () else n
+  in
+  go ()
+
+let copy_instr ~func (i : Instr.t) =
+  Instr.make ~iid:(Iid.fresh ~func) ~loc:(Instr.loc i) (Instr.op i)
+
+(* Durability mutators ---------------------------------------------------- *)
+
+let drop pred rand p =
+  match pick rand (positions p pred) with
+  | None -> None
+  | Some (fname, label, k, _) -> Some (edit_block p fname label (remove_nth k))
+
+let drop_flush ~hot:_ rand p = drop Instr.is_flush rand p
+let drop_fence ~hot:_ rand p = drop Instr.is_fence rand p
+
+let dup_persist ~hot:_ rand p =
+  let pred i = Instr.is_flush i || Instr.is_fence i in
+  match pick rand (positions p pred) with
+  | None -> None
+  | Some (fname, label, k, i) ->
+      Some (edit_block p fname label (insert_after k (copy_instr ~func:fname i)))
+
+(* Swap a flush/fence with a neighbour. Blocked when the neighbour is a
+   terminator or defines a register the moved instruction reads: the
+   dynamic interpreter would then see a different address value than the
+   def-order-blind static analysis assumes, and the two detectors would
+   disagree for a reason that is not a durability fact. *)
+let reorder_persist ~hot:_ rand p =
+  let pred i = Instr.is_flush i || Instr.is_fence i in
+  match pick rand (positions p pred) with
+  | None -> None
+  | Some (fname, label, k, i) ->
+      let j = if Random.State.bool rand then k + 1 else k - 1 in
+      if j < 0 then None
+      else
+        let f = Program.find_exn p fname in
+        let b = List.find (fun (b : Func.block) -> b.label = label) (Func.blocks f) in
+        if j >= List.length b.instrs then None
+        else
+          let n = List.nth b.instrs j in
+          if Instr.is_terminator n then None
+          else if List.exists (fun r -> Some r = Instr.def n) (Instr.uses i) then None
+          else
+            let lo, hi = if j < k then (j, k) else (k, j) in
+            Some
+              (edit_block p fname label (fun instrs ->
+                   List.mapi
+                     (fun x ins ->
+                       if x = lo then List.nth instrs hi
+                       else if x = hi then List.nth instrs lo
+                       else ins)
+                     instrs))
+
+let swap_flush_kind ~hot:_ rand p =
+  match pick rand (positions p Instr.is_flush) with
+  | None -> None
+  | Some (fname, label, k, _) ->
+      Some
+        (edit_block p fname label
+           (replace_nth k (fun i ->
+                match Instr.op i with
+                | Instr.Flush { kind; addr } ->
+                    let kind =
+                      match kind with
+                      | Instr.Clwb -> Instr.Clflushopt
+                      | Instr.Clflushopt -> Instr.Clflush
+                      | Instr.Clflush -> Instr.Clwb
+                    in
+                    Instr.with_op i (Instr.Flush { kind; addr })
+                | _ -> i)))
+
+let swap_fence_kind ~hot:_ rand p =
+  match pick rand (positions p Instr.is_fence) with
+  | None -> None
+  | Some (fname, label, k, _) ->
+      Some
+        (edit_block p fname label
+           (replace_nth k (fun i ->
+                match Instr.op i with
+                | Instr.Fence { kind } ->
+                    let kind =
+                      match kind with
+                      | Instr.Sfence -> Instr.Mfence
+                      | Instr.Mfence -> Instr.Sfence
+                    in
+                    Instr.with_op i (Instr.Fence { kind })
+                | _ -> i)))
+
+(* 8 <-> 4 only, and only for small immediate values: with zero-initialized
+   memory and values < 2^32 the written bytes are identical either way, so
+   the mutation exercises the detectors' size handling without changing
+   any observable value. *)
+let swap_store_width ~hot:_ rand p =
+  let pred i =
+    match Instr.op i with
+    | Instr.Store { value = Value.Imm v; size = 4 | 8; _ } ->
+        v >= 0 && v < 0x1_0000_0000
+    | _ -> false
+  in
+  match pick rand (positions p pred) with
+  | None -> None
+  | Some (fname, label, k, _) ->
+      Some
+        (edit_block p fname label
+           (replace_nth k (fun i ->
+                match Instr.op i with
+                | Instr.Store { addr; value; size; nontemporal } ->
+                    let size = if size = 8 then 4 else 8 in
+                    Instr.with_op i (Instr.Store { addr; value; size; nontemporal })
+                | _ -> i)))
+
+(* Stored values and branch-guard constants only steer emitted output and
+   path choice; crash-sweep oracles are phrased as original-vs-repaired
+   non-regression, so value changes cannot fake a violation. *)
+let perturb_value ~hot:_ rand p =
+  let pred i =
+    match Instr.op i with
+    | Instr.Store { value = Value.Imm _; _ } -> true
+    | Instr.Binop { rhs = Value.Imm _; _ } -> true
+    | _ -> false
+  in
+  match pick rand (positions p pred) with
+  | None -> None
+  | Some (fname, label, k, _) ->
+      let v = 1 + Random.State.int rand 999 in
+      Some
+        (edit_block p fname label
+           (replace_nth k (fun i ->
+                match Instr.op i with
+                | Instr.Store { addr; value = Value.Imm _; size; nontemporal } ->
+                    Instr.with_op i
+                      (Instr.Store { addr; value = Value.Imm v; size; nontemporal })
+                | Instr.Binop { dst; op; lhs; rhs = Value.Imm _ } ->
+                    Instr.with_op i (Instr.Binop { dst; op; lhs; rhs = Value.Imm v })
+                | _ -> i)))
+
+(* Control mutators ------------------------------------------------------- *)
+
+let block_labels f = List.map (fun (b : Func.block) -> b.label) (Func.blocks f)
+
+(* Split a block at a random point: the prefix jumps to a fresh label
+   holding the suffix. Semantics-preserving; the fresh label renames every
+   edge out of the suffix, which is new coverage territory. *)
+let split_block ~hot rand p =
+  let cands =
+    List.concat_map
+      (fun f ->
+        List.filter_map
+          (fun (b : Func.block) ->
+            if List.length b.instrs >= 2 then Some (Func.name f, b) else None)
+          (Func.blocks f))
+      (eligible_funcs p)
+  in
+  match
+    pick_biased rand ~hot (fun (fname, (b : Func.block)) -> (fname, b.label)) cands
+  with
+  | None -> None
+  | Some (fname, b) ->
+      let n = List.length b.instrs in
+      let at = 1 + Random.State.int rand (n - 1) in
+      let f = Program.find_exn p fname in
+      let label' = fresh_name rand (block_labels f) "fz" in
+      let prefix = List.filteri (fun i _ -> i < at) b.instrs in
+      let suffix = List.filteri (fun i _ -> i >= at) b.instrs in
+      let br =
+        Instr.make ~iid:(Iid.fresh ~func:fname) ~loc:Loc.none
+          (Instr.Br { target = label' })
+      in
+      let blocks =
+        List.concat_map
+          (fun (b' : Func.block) ->
+            if b'.label = b.label then
+              [
+                { b' with instrs = prefix @ [ br ] };
+                { Func.label = label'; instrs = suffix };
+              ]
+            else [ b' ])
+          (Func.blocks f)
+      in
+      Some
+        (Program.update p
+           (Func.make ~name:fname ~params:(Func.params f) ~blocks))
+
+(* Clone one branch target under a fresh label and retarget that single
+   branch reference to the clone: execution is unchanged, but the cloned
+   block's instructions all sit under a new (func, block) key. *)
+let clone_block ~hot rand p =
+  let refs =
+    List.concat_map
+      (fun f ->
+        List.concat_map
+          (fun (b : Func.block) ->
+            List.concat
+              (List.mapi
+                 (fun k i ->
+                   match Instr.op i with
+                   | Instr.Br { target } -> [ (Func.name f, b.label, k, `Br, target) ]
+                   | Instr.Condbr { if_true; if_false; _ } ->
+                       [
+                         (Func.name f, b.label, k, `True, if_true);
+                         (Func.name f, b.label, k, `False, if_false);
+                       ]
+                   | _ -> [])
+                 b.instrs))
+          (Func.blocks f))
+      (eligible_funcs p)
+  in
+  (* key on the branch target: the target block being hot means some edge
+     into it was taken, so retargeting that reference keeps the clone on
+     an executed path *)
+  match
+    pick_biased rand ~hot (fun (fname, _, _, _, target) -> (fname, target)) refs
+  with
+  | None -> None
+  | Some (fname, label, k, arm, target) ->
+      let f = Program.find_exn p fname in
+      let tb = List.find (fun (b : Func.block) -> b.label = target) (Func.blocks f) in
+      let label' = fresh_name rand (block_labels f) "fz" in
+      let clone =
+        { Func.label = label'; instrs = List.map (copy_instr ~func:fname) tb.instrs }
+      in
+      let retarget i =
+        match (Instr.op i, arm) with
+        | Instr.Br _, `Br -> Instr.with_op i (Instr.Br { target = label' })
+        | Instr.Condbr { cond; if_false; _ }, `True ->
+            Instr.with_op i (Instr.Condbr { cond; if_true = label'; if_false })
+        | Instr.Condbr { cond; if_true; _ }, `False ->
+            Instr.with_op i (Instr.Condbr { cond; if_true; if_false = label' })
+        | _ -> i
+      in
+      let blocks =
+        List.map
+          (fun (b : Func.block) ->
+            if b.label = label then { b with instrs = replace_nth k retarget b.instrs }
+            else b)
+          (Func.blocks f)
+        @ [ clone ]
+      in
+      Some
+        (Program.update p
+           (Func.make ~name:fname ~params:(Func.params f) ~blocks))
+
+(* Outline a contiguous run of store/flush/fence instructions into a fresh
+   helper function called in its place — the persist-helper shape the
+   static analyzer summarizes, under a name no generated program has. *)
+let outline_persist ~hot rand p =
+  let runs =
+    List.concat_map
+      (fun f ->
+        List.concat_map
+          (fun (b : Func.block) ->
+            let acc = ref [] and start = ref (-1) and len = ref 0 in
+            List.iteri
+              (fun k i ->
+                if Instr.is_store i || Instr.is_flush i || Instr.is_fence i then begin
+                  if !start < 0 then start := k;
+                  incr len
+                end
+                else begin
+                  if !len > 0 then acc := (Func.name f, b.label, !start, !len) :: !acc;
+                  start := -1;
+                  len := 0
+                end)
+              b.instrs;
+            if !len > 0 then acc := (Func.name f, b.label, !start, !len) :: !acc;
+            List.rev !acc)
+          (Func.blocks f))
+      (eligible_funcs p)
+  in
+  match
+    pick_biased rand ~hot (fun (fname, label, _, _) -> (fname, label)) runs
+  with
+  | None -> None
+  | Some (fname, label, start, len) ->
+      let f = Program.find_exn p fname in
+      let b = List.find (fun (b : Func.block) -> b.label = label) (Func.blocks f) in
+      let run = List.filteri (fun i _ -> i >= start && i < start + len) b.instrs in
+      let params =
+        List.fold_left
+          (fun acc i ->
+            List.fold_left
+              (fun acc r -> if List.mem r acc then acc else acc @ [ r ])
+              acc (Instr.uses i))
+          [] run
+      in
+      let hname = fresh_name rand (Program.func_names p) "fz_out" in
+      let body =
+        List.map (copy_instr ~func:hname) run
+        @ [ Instr.make ~iid:(Iid.fresh ~func:hname) ~loc:Loc.none (Instr.Ret None) ]
+      in
+      let helper =
+        Func.make ~name:hname ~params
+          ~blocks:[ { Func.label = "entry"; instrs = body } ]
+      in
+      let call =
+        Instr.make ~iid:(Iid.fresh ~func:fname) ~loc:Loc.none
+          (Instr.Call
+             { dst = None; callee = hname; args = List.map Value.reg params })
+      in
+      let p =
+        edit_block p fname label (fun instrs ->
+            List.concat
+              (List.mapi
+                 (fun i x ->
+                   if i = start then [ call ]
+                   else if i > start && i < start + len then []
+                   else [ x ])
+                 instrs))
+      in
+      Some (Program.add_func p helper)
+
+(* Inline a call to a straight-line, definition-free helper (the persist
+   helpers, or a previously outlined run) back into its caller. *)
+let inline_call ~hot:_ rand p =
+  let inlinable callee =
+    match Program.find p callee with
+    | None -> None
+    | Some f when Func.name f = Gen.checker_name -> None
+    | Some f -> (
+        match Func.blocks f with
+        | [ b ] ->
+            let rec split_body acc = function
+              | [ last ] -> (
+                  match Instr.op last with
+                  | Instr.Ret None -> Some (List.rev acc)
+                  | _ -> None)
+              | i :: rest ->
+                  if Instr.is_store i || Instr.is_flush i || Instr.is_fence i
+                  then split_body (i :: acc) rest
+                  else None
+              | [] -> None
+            in
+            Option.map
+              (fun body -> (Func.params f, body))
+              (split_body [] b.instrs)
+        | _ -> None)
+  in
+  let sites =
+    positions p (fun i ->
+        match Instr.op i with
+        | Instr.Call { dst = None; callee; _ } -> inlinable callee <> None
+        | _ -> false)
+  in
+  match pick rand sites with
+  | None -> None
+  | Some (fname, label, k, i) -> (
+      match Instr.op i with
+      | Instr.Call { callee; args; _ } ->
+          let params, body = Option.get (inlinable callee) in
+          let subst = List.combine params args in
+          let sv = function
+            | Value.Reg r as v -> (
+                match List.assoc_opt r subst with Some a -> a | None -> v)
+            | v -> v
+          in
+          let inl =
+            List.map
+              (fun bi ->
+                let op =
+                  match Instr.op bi with
+                  | Instr.Store { addr; value; size; nontemporal } ->
+                      Instr.Store
+                        { addr = sv addr; value = sv value; size; nontemporal }
+                  | Instr.Flush { kind; addr } ->
+                      Instr.Flush { kind; addr = sv addr }
+                  | op -> op
+                in
+                Instr.make ~iid:(Iid.fresh ~func:fname) ~loc:(Instr.loc bi) op)
+              body
+          in
+          Some (edit_block p fname label (splice_nth k inl))
+      | _ -> None)
+
+(* ------------------------------------------------------------------------ *)
+
+let all =
+  [
+    { mname = "drop_flush"; apply = drop_flush };
+    { mname = "drop_fence"; apply = drop_fence };
+    { mname = "dup_persist"; apply = dup_persist };
+    { mname = "reorder_persist"; apply = reorder_persist };
+    { mname = "swap_flush_kind"; apply = swap_flush_kind };
+    { mname = "swap_fence_kind"; apply = swap_fence_kind };
+    { mname = "swap_store_width"; apply = swap_store_width };
+    { mname = "perturb_value"; apply = perturb_value };
+    { mname = "split_block"; apply = split_block };
+    { mname = "clone_block"; apply = clone_block };
+    { mname = "outline_persist"; apply = outline_persist };
+    { mname = "inline_call"; apply = inline_call };
+  ]
+
+(* Selection weights: the CFG-reshaping mutators mint fresh (func, block)
+   coverage keys and are the fuzzer's main source of new territory, so
+   they get the lion's share; the durability mutators plant and heal the
+   bugs the oracles chew on. *)
+let weighted =
+  List.concat_map
+    (fun m ->
+      let w =
+        match m.mname with
+        | "split_block" | "clone_block" -> 4
+        | "outline_persist" -> 2
+        | _ -> 1
+      in
+      List.init w (fun _ -> m))
+    all
+
+let n_weighted = List.length weighted
+
+let mutate ?(hot = []) rand p =
+  let rec attempt tries =
+    if tries = 0 then None
+    else
+      let m = List.nth weighted (Random.State.int rand n_weighted) in
+      match m.apply ~hot rand p with
+      | Some p' when Validate.is_valid p' -> Some (m.mname, p')
+      | _ -> attempt (tries - 1)
+  in
+  attempt 16
+
+let all_blocks p =
+  List.concat_map
+    (fun f ->
+      List.map (fun (b : Func.block) -> (Func.name f, b.Func.label)) (Func.blocks f))
+    (Program.funcs p)
+
+(* AFL-style havoc: stack several mutations on one candidate. Each step
+   is validated individually, so the composition stays well-typed; a
+   single mutation rarely mints more than a couple of fresh CFG edges,
+   while a stack keeps pace with the edge yield of whole-program
+   generation. Blocks a step mints are treated as hot for the following
+   steps: when the edit landed on an executed path, its offspring are on
+   that path too. *)
+let mutate_stack ?(hot = []) rand p =
+  let depth = 1 + Random.State.int rand 8 in
+  let rec go k hot names p =
+    if k = 0 then (names, p)
+    else
+      match mutate ~hot rand p with
+      | None -> (names, p)
+      | Some (mname, p') ->
+          let before = all_blocks p in
+          let fresh =
+            List.filter (fun bl -> not (List.mem bl before)) (all_blocks p')
+          in
+          go (k - 1) (fresh @ hot) (mname :: names) p'
+  in
+  match go depth hot [] p with
+  | [], _ -> None
+  | names, p' -> Some (String.concat "+" (List.rev names), p')

@@ -1,0 +1,56 @@
+(** Structure-aware PMIR mutators.
+
+    Every mutator maps a well-typed program to a well-typed program —
+    candidates that fail {!Hippo_pmir.Validate} are rejected before they
+    leave this module, so the fuzzer only ever executes valid PMIR. The
+    recovery checker function ({!Gen.checker_name}) is never mutated:
+    crash-sweep oracles compare recovery verdicts across programs, which
+    requires the invariant code itself to stay fixed.
+
+    Durability-facing mutations (drop / duplicate / reorder / retype a
+    flush or fence, narrow or widen a store) plant and heal bugs; control
+    mutations (split a block, clone a branch target, outline a persist
+    run into a helper, inline one back) reshape the CFG under fresh block
+    and function names — exactly what the name-keyed coverage map
+    ({!Hippo_pmcheck.Coverage}) counts as new territory. Mutators never
+    move stores relative to other stores or to crash points, so the
+    working (lucky) PM image at every crash point is preserved — the
+    property the crash-sweep non-regression oracle leans on. *)
+
+open Hippo_pmir
+
+type mutator = {
+  mname : string;
+  apply :
+    hot:(string * string) list ->
+    Random.State.t ->
+    Program.t ->
+    Program.t option;
+      (** [None] when the mutator finds no applicable site. [hot] is the
+          set of (func, block) pairs the parent was observed to execute
+          ({!Oracle.hot_blocks}); the CFG mutators bias site selection
+          toward it so minted edges land on executed paths. *)
+}
+
+(** The whole battery, in a fixed order (the fuzzer indexes into it with
+    its per-candidate RNG stream). *)
+val all : mutator list
+
+(** [mutate ?hot rand p] tries randomly chosen mutators (a bounded number
+    of attempts) until one produces a validated mutant; returns the
+    mutator name and the mutant. *)
+val mutate :
+  ?hot:(string * string) list ->
+  Random.State.t ->
+  Program.t ->
+  (string * Program.t) option
+
+(** [mutate_stack ?hot rand p] applies a short random stack of mutations
+    (AFL-style havoc, 1–8 deep); each step is validated individually and
+    freshly minted blocks become hot for the following steps. Returns the
+    ["+"]-joined mutator names and the final mutant. *)
+val mutate_stack :
+  ?hot:(string * string) list ->
+  Random.State.t ->
+  Program.t ->
+  (string * Program.t) option

@@ -1,0 +1,79 @@
+open Hippo_pmir
+
+(* Rebuild a program from a function list, preserving globals. *)
+let rebuild template funcs =
+  List.fold_left
+    (fun acc (name, size) -> Program.add_global acc ~name ~size)
+    (Program.of_funcs funcs) (Program.globals template)
+
+(* Candidate deletions, big cuts first. Invalid candidates (a removed
+   function still called, a removed block still branched to, a removed
+   terminator) are filtered by Validate before the predicate runs. *)
+let candidates p =
+  let funcs = Program.funcs p in
+  let drop_funcs =
+    List.filter_map
+      (fun f ->
+        if Func.name f = "main" then None
+        else
+          Some
+            (rebuild p (List.filter (fun g -> Func.name g <> Func.name f) funcs)))
+      funcs
+  in
+  let drop_blocks =
+    List.concat_map
+      (fun f ->
+        match Func.blocks f with
+        | [] | [ _ ] -> []
+        | _ :: rest ->
+            List.map
+              (fun (b : Func.block) ->
+                let blocks =
+                  List.filter
+                    (fun (b' : Func.block) -> b'.label <> b.label)
+                    (Func.blocks f)
+                in
+                Program.update p
+                  (Func.make ~name:(Func.name f) ~params:(Func.params f)
+                     ~blocks))
+              rest)
+      funcs
+  in
+  let drop_instrs =
+    List.concat_map
+      (fun f ->
+        List.concat_map
+          (fun (b : Func.block) ->
+            List.mapi
+              (fun k _ ->
+                let f' =
+                  Func.map_blocks
+                    (fun b' ->
+                      if b'.label = b.label then
+                        {
+                          b' with
+                          instrs = List.filteri (fun i _ -> i <> k) b'.instrs;
+                        }
+                      else b')
+                    f
+                in
+                Program.update p f')
+              b.instrs)
+          (Func.blocks f))
+      funcs
+  in
+  drop_funcs @ drop_blocks @ drop_instrs
+
+let shrink ~fails p =
+  if not (fails p) then p
+  else
+    let rec go p =
+      match
+        List.find_opt
+          (fun p' -> Validate.is_valid p' && fails p')
+          (candidates p)
+      with
+      | Some p' -> go p'
+      | None -> p
+    in
+    go p

@@ -1,0 +1,18 @@
+(** Greedy delta-debugging shrinker for failing fuzz candidates.
+
+    Repeatedly tries structural deletions — whole functions, whole
+    blocks, single instructions, in that order (big cuts first) — and
+    keeps any candidate that still validates and still fails the given
+    predicate. Runs to a fixpoint: the result is 1-minimal with respect
+    to these deletions (no single remaining deletion preserves the
+    failure). Since every step removes code, the shrunk program's
+    instruction count is never larger than the original's. *)
+
+open Hippo_pmir
+
+(** [shrink ~fails p] minimizes [p] while [fails] holds. [fails] is
+    typically {!Oracle.fails}[ ~oracle] for the violated oracle; it is
+    re-run on every accepted candidate, so the final program provably
+    still fails. Assumes [fails p] is true on entry (returns [p]
+    unchanged otherwise). *)
+val shrink : fails:(Program.t -> bool) -> Program.t -> Program.t

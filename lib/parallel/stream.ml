@@ -1,0 +1,19 @@
+(* SplitMix64 finalizer (Steele et al., "Fast splittable pseudorandom
+   number generators"), truncated to OCaml's boxed-free int range. Each
+   path component is absorbed with the golden-gamma increment before
+   mixing, so [seed [a]] and [seed [a; 0]] differ. *)
+
+let golden_gamma = 0x1ec8e8589e7b13b5 (* 0x9e3779b97f4a7c15 land max_int *)
+
+let mix64 z =
+  let z = (z lxor (z lsr 30)) * 0x3f58476d1ce4e5b9 land max_int in
+  let z = (z lxor (z lsr 27)) * 0x14602704b16fd297 land max_int in
+  z lxor (z lsr 31)
+
+let derive ~seed path =
+  List.fold_left
+    (fun acc k -> mix64 ((acc + golden_gamma + k) land max_int))
+    (mix64 (seed land max_int))
+    path
+
+let state ~seed path = Random.State.make [| derive ~seed path |]

@@ -1,0 +1,21 @@
+(** Deterministic RNG substreams for parallel randomized work.
+
+    Parallel fuzzing and benchmarking need per-task randomness that does
+    not depend on scheduling: a task's stream must be a pure function of
+    the user's [--seed] and the task's {e logical} position (round,
+    slot, worker index …), never of which domain happened to run it.
+
+    [state ~seed path] derives an independent [Random.State.t] from a
+    root seed and an integer path, by hashing the path into the seed
+    with a SplitMix64-style finalizer. Distinct paths give statistically
+    independent streams; the same [(seed, path)] gives the same stream
+    on every run, process and [--jobs] width. Callers label each unit of
+    work with its coordinates, e.g.
+    [Stream.state ~seed [ namespace; round; slot ]]. *)
+
+(** [derive ~seed path] is the 62-bit mixed seed for [path] (exposed for
+    tests and for labelling runs). *)
+val derive : seed:int -> int list -> int
+
+(** [state ~seed path] is a fresh PRNG state for the given coordinates. *)
+val state : seed:int -> int list -> Random.State.t

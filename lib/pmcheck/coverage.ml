@@ -1,0 +1,61 @@
+(* Edge-coverage bitmap. One byte per slot: profligate with space (64 KiB)
+   but branch-free to set, and [count] stays O(1) via a running total. *)
+
+type t = { bits : Bytes.t; mutable set : int }
+
+let map_size = 1 lsl 16
+
+let create () = { bits = Bytes.make map_size '\000'; set = 0 }
+
+let reset t =
+  Bytes.fill t.bits 0 map_size '\000';
+  t.set <- 0
+
+(* FNV-1a, 64-bit, reduced to the map size. Deliberately not
+   [Hashtbl.hash]: edge indices must be stable across runs, processes and
+   compiler versions — they name corpus coverage on disk. *)
+let fnv_prime = 0x100000001b3
+
+(* The canonical 64-bit offset basis truncated to OCaml's 63-bit int. *)
+let fnv_basis = 0x0bf29ce484222325
+
+let fnv_str h s =
+  let h = ref h in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * fnv_prime land max_int)
+    s;
+  !h
+
+let edge ~func ~block ~dest =
+  let h = fnv_str fnv_basis func in
+  let h = fnv_str (h lxor 0xff) block in
+  let h = fnv_str (h lxor 0xffff) dest in
+  h land (map_size - 1)
+
+let mark t i =
+  if Bytes.unsafe_get t.bits i = '\000' then begin
+    Bytes.unsafe_set t.bits i '\001';
+    t.set <- t.set + 1
+  end
+
+let mem t i = Bytes.get t.bits i <> '\000'
+let count t = t.set
+
+let to_list t =
+  let acc = ref [] in
+  for i = map_size - 1 downto 0 do
+    if Bytes.unsafe_get t.bits i <> '\000' then acc := i :: !acc
+  done;
+  !acc
+
+let add ~into is =
+  List.fold_left
+    (fun fresh i ->
+      if mem into i then fresh
+      else begin
+        mark into i;
+        fresh + 1
+      end)
+    0 is
+
+let merge ~into t = add ~into (to_list t)

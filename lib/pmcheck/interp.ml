@@ -29,6 +29,9 @@ type intrinsic =
 
 type callee = Cfunc of int | Cintrinsic of intrinsic
 
+(* Branchy operations carry their coverage-map indices, precomputed from
+   the stable (function, block, successor) naming at preparation time so
+   the hot loop never hashes a string. *)
 type pop =
   | PStore of { addr : pval; value : pval; size : int; nt : bool }
   | PLoad of { dst : int; addr : pval; size : int }
@@ -38,12 +41,18 @@ type pop =
   | PMov of { dst : int; src : pval }
   | PGep of { dst : int; base : pval; offset : pval }
   | PAlloca of { dst : int; size : int }
-  | PCall of { dst : int; callee : callee; args : pval array }
+  | PCall of { dst : int; callee : callee; args : pval array; edge : int }
       (** [dst = -1] when the result is discarded *)
-  | PJmp of int
-  | PCondbr of { cond : pval; if_true : int; if_false : int }
+  | PJmp of { target : int; edge : int }
+  | PCondbr of {
+      cond : pval;
+      if_true : int;
+      if_false : int;
+      edge_true : int;
+      edge_false : int;
+    }
   | PRet of pval option
-  | PCrash
+  | PCrash of { edge : int }
 
 type pinstr = { iid : Iid.t; loc : Loc.t; op : pop }
 
@@ -55,6 +64,9 @@ type config = {
   cost : Cost.t option;  (** account simulated latency *)
   stop_at_crash : int option;  (** halt at the n-th crash point (1-based) *)
   track_images : bool;  (** fingerprint both PM images incrementally *)
+  coverage : Coverage.t option;
+      (** mark executed control edges in this map (the fuzzer's signal);
+          [None] (the default) skips all marking *)
   vol_size : int;
   stack_size : int;
   global_size : int;
@@ -68,6 +80,7 @@ let default_config =
     cost = None;
     stop_at_crash = None;
     track_images = false;
+    coverage = None;
     vol_size = 1 lsl 24;
     stack_size = 1 lsl 22;
     global_size = 1 lsl 20;
@@ -120,7 +133,9 @@ let prepare_func ~fidx ~global_addr (f : Func.t) : pfunc =
     | Value.Global g -> PImm (global_addr g)
     | Value.Null -> PImm 0
   in
-  let pop (i : Instr.t) : pop =
+  let fname = Func.name f in
+  let pop ~block (i : Instr.t) : pop =
+    let cov dest = Coverage.edge ~func:fname ~block ~dest in
     match Instr.op i with
     | Instr.Store { addr; value; size; nontemporal } ->
         PStore { addr = pv addr; value = pv value; size; nt = nontemporal }
@@ -134,7 +149,7 @@ let prepare_func ~fidx ~global_addr (f : Func.t) : pfunc =
         PGep { dst = slot dst; base = pv base; offset = pv offset }
     | Instr.Alloca { dst; size } -> PAlloca { dst = slot dst; size }
     | Instr.Call { dst; callee; args } ->
-        let callee =
+        let target =
           match Hashtbl.find_opt fidx callee with
           | Some i -> Cfunc i
           | None -> (
@@ -145,18 +160,31 @@ let prepare_func ~fidx ~global_addr (f : Func.t) : pfunc =
         PCall
           {
             dst = (match dst with Some d -> slot d | None -> -1);
-            callee;
+            callee = target;
             args = Array.of_list (List.map pv args);
+            edge = cov callee;
           }
-    | Instr.Br { target = l } -> PJmp (target l)
+    | Instr.Br { target = l } -> PJmp { target = target l; edge = cov l }
     | Instr.Condbr { cond; if_true; if_false } ->
-        PCondbr { cond = pv cond; if_true = target if_true; if_false = target if_false }
+        PCondbr
+          {
+            cond = pv cond;
+            if_true = target if_true;
+            if_false = target if_false;
+            edge_true = cov if_true;
+            edge_false = cov if_false;
+          }
     | Instr.Ret v -> PRet (Option.map pv v)
-    | Instr.Crash -> PCrash
+    | Instr.Crash -> PCrash { edge = cov "!crash" }
   in
   let code =
-    List.concat_map (fun (b : Func.block) -> b.instrs) blocks
-    |> List.map (fun i -> { iid = Instr.iid i; loc = Instr.loc i; op = pop i })
+    List.concat_map
+      (fun (b : Func.block) ->
+        List.map
+          (fun i ->
+            { iid = Instr.iid i; loc = Instr.loc i; op = pop ~block:b.label i })
+          b.instrs)
+      blocks
     |> Array.of_list
   in
   { fname = Func.name f; nregs = !next; pslots; code }
@@ -170,6 +198,7 @@ type t = {
   mem : Mem.t;
   ps : Pstate.t;
   cfg : config;
+  cov : Coverage.t option;  (** = [cfg.coverage], hoisted for the hot loop *)
   mutable seq : int;
   mutable steps : int;
   mutable trace_rev : Trace.event list;
@@ -204,6 +233,7 @@ let create ?pm_image (cfg : config) (prog : Program.t) : t =
     mem;
     ps = Pstate.create ();
     cfg;
+    cov = cfg.coverage;
     seq = 0;
     steps = 0;
     trace_rev = [];
@@ -376,7 +406,8 @@ let rec exec_call t (pf : pfunc) (args : int array) : int =
     | PAlloca { dst; size } ->
         regs.(dst) <- Mem.alloc_stack t.mem size;
         (match cost with Some c -> charge c.op_ns | None -> ())
-    | PCall { dst; callee; args } -> (
+    | PCall { dst; callee; args; edge } -> (
+        (match t.cov with Some c -> Coverage.mark c edge | None -> ());
         match callee with
         | Cintrinsic it ->
             let arg k = ev args.(k) in
@@ -426,16 +457,23 @@ let rec exec_call t (pf : pfunc) (args : int array) : int =
             let r = exec_call t callee_pf argv in
             t.frames <- List.tl t.frames;
             if dst >= 0 then regs.(dst) <- r)
-    | PJmp target ->
+    | PJmp { target; edge } ->
+        (match t.cov with Some c -> Coverage.mark c edge | None -> ());
         pc := target;
         (match cost with Some c -> charge c.op_ns | None -> ())
-    | PCondbr { cond; if_true; if_false } ->
-        pc := (if ev cond <> 0 then if_true else if_false);
+    | PCondbr { cond; if_true; if_false; edge_true; edge_false } ->
+        let taken = ev cond <> 0 in
+        (match t.cov with
+        | Some c -> Coverage.mark c (if taken then edge_true else edge_false)
+        | None -> ());
+        pc := (if taken then if_true else if_false);
         (match cost with Some c -> charge c.op_ns | None -> ())
     | PRet v ->
         result := (match v with Some v -> ev v | None -> 0);
         running := false
-    | PCrash -> record_crash_point t ~iid:(Some i.iid) ~loc:i.loc
+    | PCrash { edge } ->
+        (match t.cov with Some c -> Coverage.mark c edge | None -> ());
+        record_crash_point t ~iid:(Some i.iid) ~loc:i.loc
   done;
   Mem.stack_release t.mem stack_mark;
   !result

@@ -36,6 +36,10 @@ type config = {
   track_images : bool;
       (** maintain incremental {!Imghash} fingerprints of both PM images
           (the single-pass crash sweep's capture mode; default false) *)
+  coverage : Coverage.t option;
+      (** mark executed control edges in this map (the fuzzer's guidance
+          signal); [None] (the default) skips all marking — the hot loop
+          only tests one immutable field per branch *)
   vol_size : int;
   stack_size : int;
   global_size : int;

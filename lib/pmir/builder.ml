@@ -32,6 +32,7 @@ type fb = {
   mutable blocks_rev : (string * Instr.t list ref) list;
   mutable current : Instr.t list ref;
   mutable fresh : int;
+  mutable nlabels : int;
 }
 
 let func t ?file name params ~(body : fb -> unit) =
@@ -46,6 +47,7 @@ let func t ?file name params ~(body : fb -> unit) =
       blocks_rev = [ ("entry", entry) ];
       current = entry;
       fresh = 0;
+      nlabels = 0;
     }
   in
   body fb;
@@ -103,11 +105,12 @@ let block fb label =
       fb.blocks_rev <- fb.blocks_rev @ [ (label, instrs) ];
       fb.current <- instrs
 
-let fresh_label =
-  let n = ref 0 in
-  fun fb prefix ->
-    incr n;
-    Printf.sprintf "%s_%s%d" prefix fb.fname !n
+(* Per-function numbering: a global counter here would make the emitted
+   label names depend on everything built earlier in the process, which
+   breaks the fuzzer's corpus-digest determinism across runs. *)
+let fresh_label fb prefix =
+  fb.nlabels <- fb.nlabels + 1;
+  Printf.sprintf "%s_%s%d" prefix fb.fname fb.nlabels
 
 (* Instruction emission --------------------------------------------------- *)
 

@@ -113,12 +113,15 @@ let compare_reports ~static_ ~dynamic =
   let matched, missed =
     List.partition_map
       (fun d ->
+        (* a site can carry several static records of different kinds
+           (e.g. missing-flush at exit and missing-flush&fence at a
+           crash); any one of them covers the dynamic finding *)
         match
           List.find_opt
             (fun s ->
               String.equal (site_key s) (site_key d)
               && kind_covers ~static_:s.Report.kind ~dynamic:d.Report.kind)
-            sta_sites
+            static_
         with
         | Some s -> Left (d, s)
         | None -> Right d)

@@ -1,0 +1,35 @@
+The fuzz smoke run is byte-identical for a given seed at any --jobs
+width: candidates are constructed serially from per-candidate RNG
+streams and merged in slot order, so the pool width only affects
+wall-clock time. The summary deliberately contains no timing and no
+jobs count.
+
+  $ hippocrates fuzz --smoke --seed 42 --jobs 2
+  fuzz: seed 42, budget 64 execs
+  fuzz summary
+    execs:     64 (26 generated, 38 mutants)
+    corpus:    43 programs, digest 8ec71888bf42466c2ef39061a9520d32
+    coverage:  135 edges (blind baseline at equal execs: 21)
+    recovery memo: 195 hits / 69 misses
+    violations: 0
+
+  $ hippocrates fuzz --smoke --seed 42 --jobs 1
+  fuzz: seed 42, budget 64 execs
+  fuzz summary
+    execs:     64 (26 generated, 38 mutants)
+    corpus:    43 programs, digest 8ec71888bf42466c2ef39061a9520d32
+    coverage:  135 edges (blind baseline at equal execs: 21)
+    recovery memo: 195 hits / 69 misses
+    violations: 0
+
+A different seed explores different territory but stays violation-free
+and keeps the guided run ahead of the coverage-blind baseline:
+
+  $ hippocrates fuzz --smoke --seed 7 --jobs 2
+  fuzz: seed 7, budget 64 execs
+  fuzz summary
+    execs:     64 (25 generated, 39 mutants)
+    corpus:    51 programs, digest 2008d67228d4f61c8441dfe46cf02b40
+    coverage:  134 edges (blind baseline at equal execs: 20)
+    recovery memo: 155 hits / 79 misses
+    violations: 0

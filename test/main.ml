@@ -14,6 +14,7 @@ let () =
       ("crashsim", Test_crashsim.suite);
       ("pmir-gen", Test_pmir_gen.suite);
       ("staticcheck", Test_staticcheck.suite);
+      ("fuzz", Test_fuzz.suite);
       ("corpus", Test_corpus.suite);
       ("apps", Test_apps.suite);
       ("ycsb", Test_ycsb.suite);

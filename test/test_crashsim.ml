@@ -4,7 +4,7 @@
    Bugstudy wiring. *)
 
 open Hippo_pmcheck
-module Gen = Pmir_gen
+module Gen = Hippo_fuzz.Gen
 module Verify = Hippo_engine.Verify
 module Sweep = Hippo_bugstudy.Sweep
 

@@ -1,3 +1,4 @@
+module Pmir_gen = Hippo_fuzz.Gen
 (* The domain work pool, and the determinism battery for the parallel
    repair engine: the same inputs must produce the same fix plans,
    repaired programs and event sequences at every --jobs setting. *)

@@ -1,3 +1,4 @@
+module Pmir_gen = Hippo_fuzz.Gen
 (* Differential testing of the two bug detectors over generated PMIR.
 
    [Pmir_gen.arb_bug_free] programs persist every PM store before exit,
