@@ -1,5 +1,6 @@
 .PHONY: all build check test bench bench-static bench-par bench-crash \
-	bench-json bench-fuzz fuzz-smoke trace-demo clean fmt
+	bench-json bench-fuzz bench-serve fuzz-smoke serve-smoke trace-demo \
+	clean fmt
 
 all: build
 
@@ -35,6 +36,19 @@ bench-json:
 # Coverage-guided fuzzing vs blind generation at equal exec counts.
 bench-fuzz:
 	dune exec bench/main.exe -- table_fuzz --seed 42
+
+# Million-op YCSB traffic against the served redis_mini: manual vs
+# Hippocrates-repaired flush-free, simulated throughput + latency
+# percentiles, with machine-readable results at the repo root.
+bench-serve:
+	dune exec bench/main.exe -- table_serve --json BENCH_pr6.json
+
+# Bounded in-process serve smoke: fixed seed, two domains, exits
+# non-zero if the repaired variant disagrees with manual on any
+# verdict, the final count or the store digest.
+serve-smoke:
+	HIPPO_JOBS=2 dune exec bin/hippocrates_cli.exe -- serve --inproc \
+	  --smoke --seed 42 --records 2000 --ops 3000 --workers 4 --jobs 2
 
 # Deterministic 60-second-class fuzz smoke: fixed seed and exec budget,
 # exits non-zero on any oracle violation, saves corpus + shrunk

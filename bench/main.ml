@@ -23,6 +23,11 @@
                                       per-crash-point replay
      bench/main.exe table_fuzz      — coverage-guided fuzzing vs blind
                                       generation at equal exec counts
+     bench/main.exe table_serve     — the KV service under YCSB traffic:
+                                      manual vs repaired throughput and
+                                      latency percentiles (not part of the
+                                      default sweep: --serve-records /
+                                      --serve-ops default to one million)
      bench/main.exe micro           — bechamel micro-benchmarks
 
    `--jobs N` sets the domain budget for every corpus sweep (default:
@@ -851,6 +856,89 @@ let table_fuzz () =
       ("guided_ahead_all", `Bool all_ahead);
     ]
 
+(* serve — the KV service under million-op YCSB traffic --------------- *)
+
+let serve_records = ref 1_000_000
+let serve_ops = ref 1_000_000
+
+let table_serve () =
+  section
+    (Fmt.str
+       "serve — workload A over the KV service: manual vs repaired (%d \
+        records, %d ops, 4 workers, seed %d, --jobs %d)"
+       !serve_records !serve_ops !seed !jobs);
+  let module Drive = Hippo_serve.Drive in
+  let module Hist = Hippo_perfmodel.Stats.Hist in
+  let workers = 4 in
+  let outcomes =
+    Hippo_parallel.Pool.run ~domains:(max 1 !jobs) (fun pool ->
+        List.map
+          (fun variant ->
+            match
+              Drive.run_inproc ~pool ~app:App.Redis ~variant
+                ~workload:Hippo_ycsb.Workload.A ~records:!serve_records
+                ~ops:!serve_ops ~workers ~seed:!seed ()
+            with
+            | Ok o -> (variant, o)
+            | Error e -> Fmt.failwith "table_serve: %s" e)
+          [ App.Manual; App.Repaired ])
+  in
+  (* simulated throughput (deterministic, the perfmodel number) next to
+     wall clock (hardware-dependent, informational) *)
+  let sim_kops reqs ns = float_of_int reqs /. (ns /. 1e9) /. 1e3 in
+  Fmt.pr
+    "  %-16s %10s %10s %8s %8s %8s %8s %9s@." "variant" "load-kops" "run-kops"
+    "p50" "p95" "p99" "p99.9" "count";
+  List.iter
+    (fun (_, (o : Drive.outcome)) ->
+      Fmt.pr
+        "  %-16s %10.1f %10.1f %7.0fn %7.0fn %7.0fn %7.0fn %9d  (wall: \
+         load %.1fs, run %.1fs)@."
+        o.Drive.app_name
+        (sim_kops o.Drive.load_reqs o.Drive.sim_load_ns)
+        (sim_kops o.Drive.run_reqs o.Drive.sim_run_ns)
+        (Hist.p50 o.Drive.hist) (Hist.p95 o.Drive.hist) (Hist.p99 o.Drive.hist)
+        (Hist.p999 o.Drive.hist) o.Drive.count o.Drive.wall_load_s
+        o.Drive.wall_run_s)
+    outcomes;
+  let manual = List.assoc App.Manual outcomes in
+  let repaired = List.assoc App.Repaired outcomes in
+  let agrees = Drive.agrees manual repaired in
+  Fmt.pr
+    "  repaired matches manual on every verdict, the final count and the \
+     store digest: %s@."
+    (if agrees then "yes" else "NO");
+  let row (o : Drive.outcome) =
+    `Assoc
+      [
+        ("variant", `String o.Drive.app_name);
+        ("records", `Int o.Drive.records);
+        ("final_records", `Int o.Drive.final_records);
+        ("load_reqs", `Int o.Drive.load_reqs);
+        ("run_reqs", `Int o.Drive.run_reqs);
+        ("sim_load_kops", `Float (sim_kops o.Drive.load_reqs o.Drive.sim_load_ns));
+        ("sim_run_kops", `Float (sim_kops o.Drive.run_reqs o.Drive.sim_run_ns));
+        ("wall_load_s", `Float o.Drive.wall_load_s);
+        ("wall_run_s", `Float o.Drive.wall_run_s);
+        ("p50_ns", `Float (Hist.p50 o.Drive.hist));
+        ("p95_ns", `Float (Hist.p95 o.Drive.hist));
+        ("p99_ns", `Float (Hist.p99 o.Drive.hist));
+        ("p999_ns", `Float (Hist.p999 o.Drive.hist));
+        ("count", `Int o.Drive.count);
+        ("check", `Bool o.Drive.check);
+        ("digest", `String (Fmt.str "%014x" o.Drive.digest));
+      ]
+  in
+  `Assoc
+    [
+      ("workload", `String "A");
+      ("workers", `Int workers);
+      ("seed", `Int !seed);
+      ("manual", row manual);
+      ("repaired", row repaired);
+      ("agrees", `Bool agrees);
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* --json FILE: machine-readable results (hand-rolled serializer; no
    JSON library in the toolchain). *)
@@ -932,6 +1020,16 @@ let () =
         | Some k -> seed := k
         | None -> Fmt.epr "--seed expects an integer, got %S@." n);
         strip_opts rest
+    | "--serve-records" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some k when k >= 1 -> serve_records := k
+        | _ -> Fmt.epr "--serve-records expects a positive integer, got %S@." n);
+        strip_opts rest
+    | "--serve-ops" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some k when k >= 1 -> serve_ops := k
+        | _ -> Fmt.epr "--serve-ops expects a positive integer, got %S@." n);
+        strip_opts rest
     | a :: rest -> a :: strip_opts rest
     | [] -> []
   in
@@ -976,6 +1074,7 @@ let () =
           | "table_par" -> table_par ()
           | "table_crash" -> add_json "table_crash" (table_crash ())
           | "table_fuzz" -> add_json "table_fuzz" (table_fuzz ())
+          | "table_serve" -> add_json "table_serve" (table_serve ())
           | "micro" -> micro ()
           | other -> Fmt.epr "unknown experiment %S@." other)
         cmds);

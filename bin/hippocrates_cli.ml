@@ -602,6 +602,238 @@ let fuzz_cmd =
       const run $ time_arg $ execs_arg $ seed_arg $ corpus_dir_arg
       $ smoke_flag $ jobs_arg)
 
+(* serve / loadgen ---------------------------------------------------- *)
+
+let app_arg =
+  Arg.(
+    value
+    & opt (enum [ ("redis", Hippo_apps.App.Redis); ("pclht", Hippo_apps.App.Pclht) ])
+        Hippo_apps.App.Redis
+    & info [ "app" ] ~docv:"APP"
+        ~doc:"Application to serve: $(b,redis) (string KV, the §6.3 \
+              subject) or $(b,pclht) (word-keyed hash table, §6.1).")
+
+let variant_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("flush-free", Hippo_apps.App.Flush_free);
+             ("manual", Hippo_apps.App.Manual);
+             ("repaired", Hippo_apps.App.Repaired);
+           ])
+        Hippo_apps.App.Manual
+    & info [ "variant" ] ~docv:"VARIANT"
+        ~doc:"Build to serve: $(b,flush-free) (the repair input; redis \
+              only), $(b,manual) (the hand-written baseline) or \
+              $(b,repaired) (the Hippocrates pipeline output, verified \
+              before serving).")
+
+let workload_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           (List.map
+              (fun k ->
+                (String.lowercase_ascii (Hippo_ycsb.Workload.kind_to_string k), k))
+              Hippo_ycsb.Workload.all_kinds))
+        Hippo_ycsb.Workload.A
+    & info [ "workload" ] ~docv:"KIND"
+        ~doc:"YCSB workload for the run phase: $(b,a)-$(b,f) or $(b,load).")
+
+let records_arg =
+  Arg.(
+    value & opt int 10_000
+    & info [ "records" ] ~docv:"N"
+        ~doc:"Records loaded before the run phase (across all workers).")
+
+let ops_arg =
+  Arg.(
+    value & opt int 10_000
+    & info [ "ops" ] ~docv:"N"
+        ~doc:"Run-phase operations (across all workers).")
+
+let workers_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "workers" ] ~docv:"N"
+        ~doc:"Logical load-generator workers. Each owns a disjoint \
+              keyspace slice and a seed substream, so results are \
+              identical at any $(b,--jobs).")
+
+let unix_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "unix" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let port_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "port" ] ~docv:"PORT" ~doc:"TCP port on 127.0.0.1.")
+
+let serve_cmd =
+  let inproc_flag =
+    Arg.(
+      value & flag
+      & info [ "inproc" ]
+          ~doc:"No sockets: run the load generator against the handler \
+                in-process (same codec, same dispatch) and print the \
+                outcome. The CI mode.")
+  in
+  let smoke_flag =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"With $(b,--inproc): run both the manual baseline and the \
+                repaired build over the same deterministic traffic, print \
+                both outcomes (no wall-clock fields) and exit nonzero \
+                unless every verdict, the final count and the store \
+                digest agree. Byte-identical output at any $(b,--jobs).")
+  in
+  let expect_conns_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "expect-conns" ] ~docv:"N"
+          ~doc:"Exit after $(docv) connections have come and gone (for \
+                tests and benches); default: serve forever.")
+  in
+  let run app variant workload records ops workers inproc smoke unix_path
+      port expect_conns seed jobs =
+    let kind_name = Hippo_apps.App.kind_to_string app in
+    if inproc || smoke then
+      Hippo_parallel.Pool.run ~domains:(max 1 jobs) (fun pool ->
+          let run_variant variant =
+            Hippo_serve.Drive.run_inproc ~pool ~app ~variant ~workload
+              ~records ~ops ~workers ~seed ()
+          in
+          if smoke then
+            match (run_variant Hippo_apps.App.Manual,
+                   run_variant Hippo_apps.App.Repaired) with
+            | Ok manual, Ok repaired ->
+                Fmt.pr "%a@.%a@." Hippo_serve.Drive.pp_outcome manual
+                  Hippo_serve.Drive.pp_outcome repaired;
+                if Hippo_serve.Drive.agrees manual repaired then begin
+                  Fmt.pr "serve smoke: %s manual and repaired agree@."
+                    kind_name;
+                  0
+                end
+                else begin
+                  Fmt.pr "serve smoke: %s VARIANTS DISAGREE@." kind_name;
+                  1
+                end
+            | Error e, _ | _, Error e ->
+                Fmt.epr "error: %s@." e;
+                1
+          else
+            match run_variant variant with
+            | Ok o ->
+                Fmt.pr "%a@." Hippo_serve.Drive.pp_outcome o;
+                Fmt.pr "load: %.1f kops/s, run: %.1f kops/s (wall)@."
+                  (float_of_int o.Hippo_serve.Drive.load_reqs
+                  /. o.Hippo_serve.Drive.wall_load_s /. 1e3)
+                  (float_of_int o.Hippo_serve.Drive.run_reqs
+                  /. o.Hippo_serve.Drive.wall_run_s /. 1e3);
+                0
+            | Error e ->
+                Fmt.epr "error: %s@." e;
+                1)
+    else
+      let listen =
+        match (unix_path, port) with
+        | Some path, None -> Ok (Hippo_serve.Listener.listen_unix ~path)
+        | None, Some port -> Ok (Hippo_serve.Listener.listen_tcp ~port)
+        | None, None -> Error "serve: need --unix, --port or --inproc"
+        | Some _, Some _ -> Error "serve: --unix and --port are exclusive"
+      in
+      match listen with
+      | Error e ->
+          Fmt.epr "error: %s@." e;
+          1
+      | Ok listen -> (
+          (* capacity hint: socket-mode traffic is bounded by the client's
+             --records/--ops, which the server mirrors here *)
+          let config =
+            Hippo_serve.Drive.serve_config ~final_records:(records + ops)
+          in
+          let nbuckets =
+            Hippo_serve.Drive.serve_nbuckets ~final_records:(records + ops)
+          in
+          match Hippo_apps.App.make ~config ~nbuckets app variant with
+          | Error e ->
+              Fmt.epr "error: %s@." e;
+              1
+          | Ok served ->
+              (match port with
+              | Some 0 ->
+                  Fmt.pr "listening on port %d@."
+                    (Hippo_serve.Listener.port_of listen)
+              | _ -> ());
+              let metrics = Hippo_serve.Metrics.create () in
+              Hippo_serve.Listener.serve ~app:served ~metrics ~listen
+                ?expect_conns ();
+              Fmt.pr "served %s: %a@." served.Hippo_apps.App.name
+                Hippo_serve.Metrics.pp metrics;
+              0)
+  in
+  Cmd.v
+    (Cmd.info "serve" ~exits
+       ~doc:"Serve a PM application over the binary KV protocol (Unix or \
+             TCP socket), or drive it in-process ($(b,--inproc)) for CI.")
+    Term.(
+      const run $ app_arg $ variant_arg $ workload_arg $ records_arg
+      $ ops_arg $ workers_arg $ inproc_flag $ smoke_flag $ unix_arg
+      $ port_arg $ expect_conns_arg $ seed_arg $ jobs_arg)
+
+let loadgen_cmd =
+  let skip_load_flag =
+    Arg.(
+      value & flag
+      & info [ "skip-load" ]
+          ~doc:"Skip the load phase (the server is already populated).")
+  in
+  let run workload records ops workers unix_path port skip_load seed jobs =
+    let connect =
+      match (unix_path, port) with
+      | Some path, None ->
+          Ok (fun () -> Hippo_serve.Listener.Client.connect_unix ~path)
+      | None, Some port ->
+          Ok (fun () -> Hippo_serve.Listener.Client.connect_tcp ~port)
+      | None, None -> Error "loadgen: need --unix or --port"
+      | Some _, Some _ -> Error "loadgen: --unix and --port are exclusive"
+    in
+    match connect with
+    | Error e ->
+        Fmt.epr "error: %s@." e;
+        1
+    | Ok connect ->
+        let r =
+          Hippo_parallel.Pool.run ~domains:(max 1 jobs) (fun pool ->
+              Hippo_serve.Loadgen.run_sockets ~connect ~pool ~kind:workload
+                ~records ~ops ~workers ~seed ~skip_load ())
+        in
+        Fmt.pr "load: %d reqs (%a)@." r.Hippo_serve.Loadgen.load_reqs
+          Hippo_serve.Loadgen.pp_verdicts r.Hippo_serve.Loadgen.load_verdicts;
+        Fmt.pr "run: %d reqs (%a)@." r.Hippo_serve.Loadgen.run_reqs
+          Hippo_serve.Loadgen.pp_verdicts r.Hippo_serve.Loadgen.run_verdicts;
+        Fmt.pr "%.1f kops/s (wall)@."
+          (float_of_int
+             (r.Hippo_serve.Loadgen.load_reqs + r.Hippo_serve.Loadgen.run_reqs)
+          /. r.Hippo_serve.Loadgen.wall_s /. 1e3);
+        if r.Hippo_serve.Loadgen.run_verdicts.Hippo_serve.Loadgen.errors = 0
+        then 0
+        else 1
+  in
+  Cmd.v
+    (Cmd.info "loadgen" ~exits
+       ~doc:"Stream YCSB traffic at a running $(b,hippocrates serve) over \
+             its socket: one connection per logical worker, deterministic \
+             per-worker op substreams.")
+    Term.(
+      const run $ workload_arg $ records_arg $ ops_arg $ workers_arg
+      $ unix_arg $ port_arg $ skip_load_flag $ seed_arg $ jobs_arg)
+
 (* corpus ------------------------------------------------------------ *)
 
 let corpus_cmd =
@@ -628,4 +860,13 @@ let () =
   in
   exit
     (Cmd.eval'
-       (Cmd.group info [ check_cmd; fix_cmd; run_cmd; fuzz_cmd; corpus_cmd ]))
+       (Cmd.group info
+          [
+            check_cmd;
+            fix_cmd;
+            run_cmd;
+            fuzz_cmd;
+            serve_cmd;
+            loadgen_cmd;
+            corpus_cmd;
+          ]))

@@ -1,0 +1,191 @@
+(** A uniform key-value adapter over the PM applications, so the serve
+    handler and the YCSB load generator are app-agnostic.
+
+    Each adapter wraps one interpreter session of one {e build variant}
+    of one app:
+
+    - {b flush-free}: the Hippocrates repair input (no flushes at all) —
+      only Redis has one; P-CLHT's bugs are injected, not stripped;
+    - {b manual}: the hand-written baseline (Redis-pm's developer port,
+      CLHT's line-granular discipline with the two injected bugs);
+    - {b repaired}: the program produced by the {!Hippo_core.Driver}
+      repair pipeline, verified effective and harm-free before serving.
+
+    Keys and values are byte strings at this boundary (the wire form).
+    Redis stores them natively; P-CLHT is a word store, so strings are
+    mapped through FNV-1a onto nonzero machine words — deterministic, so
+    two variants fed identical op streams still produce comparable
+    stores. Neither app supports ordered iteration, so [scan] reports
+    unsupported and the caller degrades gracefully. *)
+
+open Hippo_pmir
+open Hippo_pmcheck
+open Hippo_core
+
+type kind = Redis | Pclht
+
+let kind_to_string = function Redis -> "redis" | Pclht -> "pclht"
+
+let kind_of_string = function
+  | "redis" -> Some Redis
+  | "pclht" -> Some Pclht
+  | _ -> None
+
+type variant = Flush_free | Manual | Repaired
+
+let variant_to_string = function
+  | Flush_free -> "flush-free"
+  | Manual -> "manual"
+  | Repaired -> "repaired"
+
+let variant_of_string = function
+  | "flush-free" -> Some Flush_free
+  | "manual" -> Some Manual
+  | "repaired" -> Some Repaired
+  | _ -> None
+
+type read_result = Found of string | Absent
+type scan_result = Scanned of string list | Scan_unsupported
+
+type t = {
+  name : string;  (** e.g. ["redis/manual"] *)
+  interp : Interp.t;
+  insert : key:string -> value:string -> unit;
+  read : key:string -> read_result;
+  delete : key:string -> bool;  (** true when a binding was removed *)
+  scan : start:string -> len:int -> scan_result;
+  count : unit -> int;
+  check : unit -> bool;  (** the app's own recovery invariant *)
+  cost_ns : unit -> float;  (** simulated ns accumulated so far *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Variant programs *)
+
+let repair_or_error ~name ~workload prog =
+  let r = Driver.repair ~name ~workload prog in
+  if not (Verify.effective r.Driver.verification) then
+    Error (Fmt.str "%s: residual bugs after repair" name)
+  else if not (Verify.harm_free r.Driver.verification) then
+    Error (Fmt.str "%s: repaired program diverges" name)
+  else Ok r.Driver.repaired
+
+(** Build the program for an (app, variant) pair. [Repaired] runs the
+    full repair pipeline (dynamic detector, hoisting on) and fails if
+    verification does. *)
+let program kind variant : (Program.t, string) result =
+  match (kind, variant) with
+  | Redis, Flush_free -> Ok (Redis_mini.build Redis_mini.Flush_free)
+  | Redis, Manual -> Ok (Redis_mini.build Redis_mini.Manual)
+  | Redis, Repaired ->
+      repair_or_error ~name:"redis-serve"
+        ~workload:Redis_bench.repair_workload
+        (Redis_mini.build Redis_mini.Flush_free)
+  | Pclht, Flush_free ->
+      Error
+        "pclht has no flush-free build (its two bugs are injected, not \
+         stripped); use --variant manual or repaired"
+  | Pclht, Manual -> Ok (Pclht.build ())
+  | Pclht, Repaired ->
+      repair_or_error ~name:"pclht-serve" ~workload:Pclht.workload
+        (Pclht.build ())
+
+(* ------------------------------------------------------------------ *)
+(* Adapters *)
+
+let redis_adapter ~name ~nbuckets config prog : t =
+  let s = Redis_mini.start ~config ~nbuckets prog in
+  let mem = Interp.mem s.Redis_mini.interp in
+  let put_key key =
+    if String.length key = 0 || String.length key > Redis_mini.key_cap then
+      invalid_arg
+        (Fmt.str "redis: key length %d not in 1..%d" (String.length key)
+           Redis_mini.key_cap);
+    Mem.write_string mem ~addr:s.Redis_mini.key_buf key;
+    Mem.store mem ~addr:s.Redis_mini.g_klen ~size:8 (String.length key)
+  in
+  let put_value value =
+    if String.length value = 0 || String.length value > Redis_mini.val_cap
+    then
+      invalid_arg
+        (Fmt.str "redis: value length %d not in 1..%d" (String.length value)
+           Redis_mini.val_cap);
+    Mem.write_string mem ~addr:s.Redis_mini.val_buf value;
+    Mem.store mem ~addr:s.Redis_mini.g_vlen ~size:8 (String.length value)
+  in
+  {
+    name;
+    interp = s.Redis_mini.interp;
+    insert =
+      (fun ~key ~value ->
+        put_key key;
+        put_value value;
+        ignore (Interp.call s.Redis_mini.interp "cmd_set" []));
+    read =
+      (fun ~key ->
+        put_key key;
+        let vl = Interp.call s.Redis_mini.interp "cmd_get" [] in
+        if vl < 0 then Absent
+        else Found (Mem.read_string mem ~addr:s.Redis_mini.reply_buf ~len:vl));
+    delete =
+      (fun ~key ->
+        put_key key;
+        Interp.call s.Redis_mini.interp "cmd_del" [] = 1);
+    scan = (fun ~start:_ ~len:_ -> Scan_unsupported);
+    count = (fun () -> Interp.call s.Redis_mini.interp "cmd_count" []);
+    check = (fun () -> Interp.call s.Redis_mini.interp "cmd_check" [] <> 0);
+    cost_ns = (fun () -> Interp.cost_ns s.Redis_mini.interp);
+  }
+
+(* FNV-1a over a string, masked to a positive 62-bit word and forced
+   nonzero (CLHT's key and value domain). The 64-bit offset basis
+   0xcbf29ce484222325 exceeds OCaml's int literal range, so it is
+   composed from halves and masked like every round. *)
+let fnv_offset = ((0xcbf29ce4 lsl 32) lor 0x84222325) land 0x3FFFFFFFFFFFFFF
+
+let word_of_string str =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := (!h lxor Char.code c) * 0x100000001b3;
+      h := !h land 0x3FFFFFFFFFFFFFF)
+    str;
+  if !h = 0 then 1 else !h
+
+let pclht_adapter ~name ~nbuckets config prog : t =
+  let s = Pclht.start ~config ~nbuckets prog in
+  let call f args = Interp.call s.Pclht.interp f args in
+  {
+    name;
+    interp = s.Pclht.interp;
+    insert =
+      (fun ~key ~value ->
+        ignore
+          (call "clht_put" [ word_of_string key; word_of_string value ]));
+    read =
+      (fun ~key ->
+        let v = call "clht_get" [ word_of_string key ] in
+        (* a word store: GET echoes the stored word, not the SET bytes *)
+        if v = 0 then Absent else Found (string_of_int v));
+    delete = (fun ~key -> call "clht_del" [ word_of_string key ] = 1);
+    scan = (fun ~start:_ ~len:_ -> Scan_unsupported);
+    count = (fun () -> Pclht.count s);
+    check = (fun () -> Pclht.check s);
+    cost_ns = (fun () -> Interp.cost_ns s.Pclht.interp);
+  }
+
+(** [make ?config ?nbuckets kind variant] builds the variant program and
+    wraps a fresh session. The default config suits small smoke runs;
+    million-key services should size [pm_size] and bucket counts to the
+    expected record count. *)
+let make ?(config = Interp.default_config) ?(nbuckets = 1024) kind variant :
+    (t, string) result =
+  let name =
+    Fmt.str "%s/%s" (kind_to_string kind) (variant_to_string variant)
+  in
+  match program kind variant with
+  | Error _ as e -> e
+  | Ok prog -> (
+      match kind with
+      | Redis -> Ok (redis_adapter ~name ~nbuckets config prog)
+      | Pclht -> Ok (pclht_adapter ~name ~nbuckets config prog))

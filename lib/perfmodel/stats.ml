@@ -38,3 +38,104 @@ let pp_summary ppf s = Fmt.pf ppf "%.0f ±%.0f" s.mean s.ci95
     within the 95% confidence intervals") *)
 let overlap a b =
   a.mean -. a.ci95 <= b.mean +. b.ci95 && b.mean -. b.ci95 <= a.mean +. a.ci95
+
+(** Fixed-bucket log-linear latency histograms (HdrHistogram-style).
+
+    Buckets are exact integer counters, so [merge] is associative and
+    commutative to the bit. The bucket layout is log-linear: 16 linear
+    sub-buckets per power-of-two octave, giving a worst-case relative
+    quantile error of 1/16 while covering [0, 2^47) ns (~1.6 days) in a
+    fixed 704-slot array. *)
+module Hist = struct
+  let sub_bits = 4
+  let sub = 1 lsl sub_bits (* 16 sub-buckets per octave *)
+  let octaves = 44
+  let nbuckets = sub * octaves (* 704 *)
+
+  type t = { counts : int array; mutable total : int }
+
+  let create () = { counts = Array.make nbuckets 0; total = 0 }
+
+  (* Bucket index for a nonnegative ns value: values below [sub] get
+     their own bucket; above, the octave of the most significant bit
+     selects a group of [sub] linear sub-buckets. *)
+  let bucket_of v =
+    let v = max 0 v in
+    if v < sub then v
+    else
+      let msb =
+        (* position of the most significant set bit *)
+        let rec go b v = if v <= 1 then b else go (b + 1) (v lsr 1) in
+        go 0 v
+      in
+      let idx =
+        ((msb - sub_bits + 1) * sub) + ((v lsr (msb - sub_bits)) land (sub - 1))
+      in
+      min idx (nbuckets - 1)
+
+  (* Inclusive upper bound of bucket [i], as a float (the quantile
+     estimate reported for samples landing in the bucket). *)
+  let bucket_bound i =
+    if i < sub then float_of_int i
+    else
+      let g = (i / sub) - 1 in
+      let s = i mod sub in
+      float_of_int (((sub + s + 1) lsl g) - 1)
+
+  let record t v =
+    let i = bucket_of v in
+    t.counts.(i) <- t.counts.(i) + 1;
+    t.total <- t.total + 1
+
+  let count t = t.total
+
+  let merge a b =
+    let counts = Array.init nbuckets (fun i -> a.counts.(i) + b.counts.(i)) in
+    { counts; total = a.total + b.total }
+
+  (* Smallest bucket bound below which at least [q] of the samples lie.
+     Empty histograms report 0. *)
+  let quantile t q =
+    if t.total = 0 then 0.0
+    else
+      let target =
+        max 1 (int_of_float (ceil (q *. float_of_int t.total)))
+      in
+      let rec go i acc =
+        if i >= nbuckets then bucket_bound (nbuckets - 1)
+        else
+          let acc = acc + t.counts.(i) in
+          if acc >= target then bucket_bound i else go (i + 1) acc
+      in
+      go 0 0
+
+  let p50 t = quantile t 0.50
+  let p95 t = quantile t 0.95
+  let p99 t = quantile t 0.99
+  let p999 t = quantile t 0.999
+
+  (* Sparse serialized form: nonzero (index, count) pairs in index
+     order — the STATS wire payload. *)
+  let buckets t =
+    let acc = ref [] in
+    for i = nbuckets - 1 downto 0 do
+      if t.counts.(i) > 0 then acc := (i, t.counts.(i)) :: !acc
+    done;
+    !acc
+
+  let of_buckets pairs =
+    let t = create () in
+    List.iter
+      (fun (i, c) ->
+        if i < 0 || i >= nbuckets then
+          invalid_arg "Stats.Hist.of_buckets: bucket index out of range";
+        if c < 0 then invalid_arg "Stats.Hist.of_buckets: negative count";
+        t.counts.(i) <- t.counts.(i) + c;
+        t.total <- t.total + c)
+      pairs;
+    t
+
+  let pp ppf t =
+    Fmt.pf ppf "p50 %.0fns p95 %.0fns p99 %.0fns p99.9 %.0fns (n=%d)"
+      (p50 t) (p95 t) (p99 t) (p999 t) t.total
+end

@@ -17,3 +17,52 @@ val pp_summary : Format.formatter -> summary -> unit
 (** Do two 95% confidence intervals overlap? (the paper's "equal
     performance within the 95% confidence intervals") *)
 val overlap : summary -> summary -> bool
+
+(** Fixed-bucket log-linear latency histograms (HdrHistogram-style):
+    16 linear sub-buckets per power-of-two octave over [0, 2^47) ns, in
+    a fixed 704-slot array of exact integer counters. Worst-case
+    relative quantile error is 1/16. [merge] is associative and
+    commutative to the bit, so per-worker histograms can be combined in
+    any order — the server's STATS endpoint and the serve bench both
+    rely on this. *)
+module Hist : sig
+  type t
+
+  val nbuckets : int
+  val create : unit -> t
+
+  (** [record t ns] adds one sample (negative values clamp to 0). *)
+  val record : t -> int -> unit
+
+  (** Total samples recorded. *)
+  val count : t -> int
+
+  (** Functional merge; neither input is modified. *)
+  val merge : t -> t -> t
+
+  (** [quantile t q] is the inclusive upper bound of the bucket holding
+      the [q]-quantile sample, in ns; 0 on an empty histogram.
+      Monotone in [q]. *)
+  val quantile : t -> float -> float
+
+  val p50 : t -> float
+  val p95 : t -> float
+  val p99 : t -> float
+  val p999 : t -> float
+
+  (** Sparse form: nonzero (bucket index, count) pairs in index order
+      (the STATS wire payload). *)
+  val buckets : t -> (int * int) list
+
+  (** Rebuild from the sparse form; raises [Invalid_argument] on
+      out-of-range indices or negative counts. *)
+  val of_buckets : (int * int) list -> t
+
+  (** Bucket index for a sample value (exposed for tests). *)
+  val bucket_of : int -> int
+
+  (** Inclusive upper bound of a bucket (exposed for tests). *)
+  val bucket_bound : int -> float
+
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,11 @@
+(** Request dispatch: one protocol request in, one reply out, over a
+    uniform {!Hippo_apps.App} adapter. Records per-op simulated-ns
+    latency into [metrics]; app-level [Invalid_argument] maps to [Err]. *)
+
+val handle :
+  app:Hippo_apps.App.t -> metrics:Metrics.t -> Protocol.request ->
+  Protocol.reply
+
+(** Encoded-frame in, encoded-frame out: decode, {!handle}, encode — the
+    exact server path minus the socket (the in-process driver's entry). *)
+val handle_wire : app:Hippo_apps.App.t -> metrics:Metrics.t -> string -> string

@@ -1,0 +1,81 @@
+(** The YCSB load generator: workload op streams expanded to protocol
+    request streams, plus reply-verdict tallies.
+
+    Worker [w] of [W] owns the disjoint keyspace [{k*W + w}] and draws
+    ops from the substream [Stream.derive ~seed [ns; w]], so summed
+    verdicts are identical under any worker interleaving and any
+    [--jobs] width. Scans are emulated as point GETs (neither app
+    iterates), read-modify-write as GET + SET. *)
+
+open Hippo_ycsb
+
+(** Worker [w]'s slice of [total] (even split, remainder to the first
+    workers). *)
+val share : total:int -> workers:int -> int -> int
+
+(** The global key id behind worker [worker]'s logical key. *)
+val global_key : workers:int -> worker:int -> int -> int
+
+val key_string : workers:int -> worker:int -> int -> string
+
+val worker_spec :
+  kind:Workload.kind -> records:int -> ops:int -> workers:int -> worker:int ->
+  Workload.spec
+
+val worker_seed : seed:int -> worker:int -> int
+
+(** The load phase: SET every record key (version 0), sequentially. *)
+val load_requests :
+  records:int -> workers:int -> worker:int -> Protocol.request Seq.t
+
+(** The run phase; like {!Workload.seq}, replayable from the head,
+    intermediate nodes ephemeral. *)
+val run_requests :
+  kind:Workload.kind -> records:int -> ops:int -> workers:int -> worker:int ->
+  seed:int -> Protocol.request Seq.t
+
+(** Records present after the run: loaded records plus the run's inserts
+    (counted by streaming the ops; no interpreter involved). *)
+val final_records :
+  kind:Workload.kind -> records:int -> ops:int -> workers:int -> worker:int ->
+  seed:int -> int
+
+type verdicts = {
+  ok : int;  (** SET acknowledgements *)
+  found : int;
+  absent : int;
+  deleted : int;
+  missed : int;  (** DEL of an absent key *)
+  unsupported : int;
+  counted : int;
+  errors : int;
+}
+
+val zero : verdicts
+val add : verdicts -> Protocol.reply -> verdicts
+val sum : verdicts -> verdicts -> verdicts
+val total : verdicts -> int
+val pp_verdicts : Format.formatter -> verdicts -> unit
+
+type socket_result = {
+  load_verdicts : verdicts;
+  run_verdicts : verdicts;
+  load_reqs : int;
+  run_reqs : int;
+  wall_s : float;
+}
+
+(** Drive a server over sockets: one connection per logical worker,
+    workers spread across [pool]. Verdicts are deterministic; wall time
+    is not. *)
+val run_sockets :
+  connect:(unit -> Listener.Client.t) ->
+  pool:Hippo_parallel.Pool.t ->
+  kind:Workload.kind ->
+  records:int ->
+  ops:int ->
+  workers:int ->
+  seed:int ->
+  skip_load:bool ->
+  unit ->
+  socket_result

@@ -1,0 +1,44 @@
+(** Server-side operation metrics: total and per-kind op counters plus a
+    simulated-latency histogram ({!Hippo_perfmodel.Stats.Hist}).
+
+    Latencies are {e simulated} nanoseconds — per-op deltas of the
+    interpreter's cost model — so the histogram (and every percentile
+    derived from it) is a pure function of the dispatched op sequence,
+    independent of wall clock, machine and [--jobs]. *)
+
+module Hist = Hippo_perfmodel.Stats.Hist
+
+type t = { kind_counts : int array; hist : Hist.t; mutable ops : int }
+
+let create () =
+  { kind_counts = Array.make Protocol.nkinds 0; hist = Hist.create (); ops = 0 }
+
+let record t kind ~ns =
+  let i = Protocol.kind_index kind in
+  t.kind_counts.(i) <- t.kind_counts.(i) + 1;
+  t.ops <- t.ops + 1;
+  Hist.record t.hist ns
+
+let ops t = t.ops
+
+(** An immutable copy, as served by the STATS endpoint. *)
+let snapshot t : Protocol.server_stats =
+  {
+    ops = t.ops;
+    kind_counts = Array.copy t.kind_counts;
+    hist = Hist.merge t.hist (Hist.create ());
+  }
+
+let pp ppf t =
+  let pairs =
+    List.filter_map
+      (fun i ->
+        if t.kind_counts.(i) = 0 then None
+        else
+          Some
+            (Fmt.str "%s=%d"
+               (Protocol.kind_name (Protocol.kind_of_index i))
+               t.kind_counts.(i)))
+      (List.init Protocol.nkinds Fun.id)
+  in
+  Fmt.pf ppf "ops=%d [%s] %a" t.ops (String.concat " " pairs) Hist.pp t.hist

@@ -1,0 +1,17 @@
+(** Server-side operation metrics: total and per-kind op counters plus a
+    simulated-latency histogram. Latencies are simulated ns (cost-model
+    deltas), so percentiles are deterministic for a given op sequence. *)
+
+type t
+
+val create : unit -> t
+
+(** [record t kind ~ns] counts one op of [kind] with latency [ns]. *)
+val record : t -> Protocol.op_kind -> ns:int -> unit
+
+val ops : t -> int
+
+(** An immutable copy, as served by the STATS endpoint. *)
+val snapshot : t -> Protocol.server_stats
+
+val pp : Format.formatter -> t -> unit

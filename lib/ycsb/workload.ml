@@ -41,9 +41,16 @@ type spec = {
 let default_spec kind =
   { kind; record_count = 10_000; op_count = 10_000; max_scan_len = 10 }
 
-(** Generate the operation sequence for a trial. Inserts use keys beyond
-    the loaded range, as YCSB does. *)
-let ops (spec : spec) ~seed : op list =
+(** Stream the operation sequence for a trial without materializing it.
+    Inserts use keys beyond the loaded range, as YCSB does.
+
+    Each traversal from the returned head allocates its own PRNG and
+    zipfian state, so restarting from the head always replays the same
+    deterministic stream. Intermediate nodes are ephemeral: they share
+    the traversal's PRNG, so a mid-sequence node must be consumed at
+    most once (million-op runs pull each op exactly once anyway). *)
+let seq (spec : spec) ~seed : op Seq.t =
+ fun () ->
   let rng = Rng.create ~seed in
   let zipf = Zipfian.create spec.record_count in
   let inserted = ref spec.record_count in
@@ -53,29 +60,39 @@ let ops (spec : spec) ~seed : op list =
     incr inserted;
     Insert k
   in
-  match spec.kind with
-  | Load -> List.init spec.record_count (fun k -> Insert k)
-  | A ->
-      List.init spec.op_count (fun _ ->
-          if Rng.int rng 100 < 50 then Read (pick ()) else Update (pick ()))
-  | B ->
-      List.init spec.op_count (fun _ ->
-          if Rng.int rng 100 < 95 then Read (pick ()) else Update (pick ()))
-  | C -> List.init spec.op_count (fun _ -> Read (pick ()))
-  | D ->
-      List.init spec.op_count (fun _ ->
+  let gen =
+    match spec.kind with
+    | Load -> fun i -> Insert i
+    | A ->
+        fun _ ->
+          if Rng.int rng 100 < 50 then Read (pick ()) else Update (pick ())
+    | B ->
+        fun _ ->
+          if Rng.int rng 100 < 95 then Read (pick ()) else Update (pick ())
+    | C -> fun _ -> Read (pick ())
+    | D ->
+        fun _ ->
           if Rng.int rng 100 < 95 then
             Read (Zipfian.latest zipf rng ~n:!inserted)
-          else insert ())
-  | E ->
-      List.init spec.op_count (fun _ ->
+          else insert ()
+    | E ->
+        fun _ ->
           if Rng.int rng 100 < 95 then
             Scan (pick (), 1 + Rng.int rng spec.max_scan_len)
-          else insert ())
-  | F ->
-      List.init spec.op_count (fun _ ->
+          else insert ()
+    | F ->
+        fun _ ->
           if Rng.int rng 100 < 50 then Read (pick ())
-          else Read_modify_write (pick ()))
+          else Read_modify_write (pick ())
+  in
+  let n = match spec.kind with Load -> spec.record_count | _ -> spec.op_count in
+  let rec node i () = if i >= n then Seq.Nil else Seq.Cons (gen i, node (i + 1)) in
+  node 0 ()
+
+(** Materialized form of {!seq} (the historical API). The generator
+    applies the PRNG in stream order, so this equals the streaming
+    sequence element for element. *)
+let ops (spec : spec) ~seed : op list = List.of_seq (seq spec ~seed)
 
 (** YCSB-style keys: zero-padded decimal with a fixed prefix, 16 bytes. *)
 let key_bytes k = Fmt.str "user%012d" k

@@ -31,8 +31,16 @@ type spec = {
 (** The paper's parameters: 10k records, 10k ops, scans up to 10. *)
 val default_spec : kind -> spec
 
-(** Generate the operation sequence for a trial; deterministic in [seed].
-    Inserts use keys beyond the loaded range, as YCSB does. *)
+(** Stream the operation sequence for a trial; deterministic in [seed].
+    Inserts use keys beyond the loaded range, as YCSB does. Nothing is
+    materialized: a million-op stream costs O(1) space. Restarting from
+    the returned head replays the identical stream (each traversal owns
+    a fresh PRNG); intermediate nodes are ephemeral and must be consumed
+    at most once. *)
+val seq : spec -> seed:int -> op Seq.t
+
+(** [List.of_seq (seq spec ~seed)]: the materialized form (historical
+    API; prefer {!seq} for large op counts). *)
 val ops : spec -> seed:int -> op list
 
 (** YCSB-style keys: ["user%012d"], 16 bytes. *)

@@ -19,6 +19,7 @@ let () =
       ("apps", Test_apps.suite);
       ("ycsb", Test_ycsb.suite);
       ("perfmodel", Test_perfmodel.suite);
+      ("serve", Test_serve.suite);
       ("bugstudy", Test_bugstudy.suite);
       ("e2e", Test_e2e.suite);
     ]

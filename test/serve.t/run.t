@@ -1,0 +1,67 @@
+The in-process serve smoke is byte-identical for a given seed at any
+--jobs width: logical workers own disjoint keyspaces, requests are
+dispatched round-robin in worker order, and latency percentiles come
+from the simulated cost model, so domain count only affects wall-clock
+time. The output deliberately contains no timing and no jobs count.
+
+  $ hippocrates serve --inproc --smoke --seed 42 --records 400 --ops 600 --workers 4 --jobs 1
+  redis/manual: workers=4 records=400 final=400
+  load: 400 reqs (ok=400 found=0 absent=0 deleted=0 missed=0 unsupported=0 counted=0 errors=0)
+  run: 600 reqs (ok=311 found=289 absent=0 deleted=0 missed=0 unsupported=0 counted=0 errors=0)
+  latency: p50 991ns p95 1727ns p99 1727ns p99.9 1855ns (n=1000)
+  count=400 check=true digest=93e50bf8d65855
+  redis/repaired: workers=4 records=400 final=400
+  load: 400 reqs (ok=400 found=0 absent=0 deleted=0 missed=0 unsupported=0 counted=0 errors=0)
+  run: 600 reqs (ok=311 found=289 absent=0 deleted=0 missed=0 unsupported=0 counted=0 errors=0)
+  latency: p50 1151ns p95 1535ns p99 1535ns p99.9 1663ns (n=1000)
+  count=400 check=true digest=93e50bf8d65855
+  serve smoke: redis manual and repaired agree
+
+  $ hippocrates serve --inproc --smoke --seed 42 --records 400 --ops 600 --workers 4 --jobs 2
+  redis/manual: workers=4 records=400 final=400
+  load: 400 reqs (ok=400 found=0 absent=0 deleted=0 missed=0 unsupported=0 counted=0 errors=0)
+  run: 600 reqs (ok=311 found=289 absent=0 deleted=0 missed=0 unsupported=0 counted=0 errors=0)
+  latency: p50 991ns p95 1727ns p99 1727ns p99.9 1855ns (n=1000)
+  count=400 check=true digest=93e50bf8d65855
+  redis/repaired: workers=4 records=400 final=400
+  load: 400 reqs (ok=400 found=0 absent=0 deleted=0 missed=0 unsupported=0 counted=0 errors=0)
+  run: 600 reqs (ok=311 found=289 absent=0 deleted=0 missed=0 unsupported=0 counted=0 errors=0)
+  latency: p50 1151ns p95 1535ns p99 1535ns p99.9 1663ns (n=1000)
+  count=400 check=true digest=93e50bf8d65855
+  serve smoke: redis manual and repaired agree
+
+The pclht app serves through the same adapter; flush-free is refused
+because its bugs are injected rather than stripped:
+
+  $ hippocrates serve --inproc --smoke --seed 7 --records 100 --ops 150 --workers 2 --app pclht --jobs 2
+  pclht/manual: workers=2 records=100 final=100
+  load: 100 reqs (ok=100 found=0 absent=0 deleted=0 missed=0 unsupported=0 counted=0 errors=0)
+  run: 150 reqs (ok=72 found=78 absent=0 deleted=0 missed=0 unsupported=0 counted=0 errors=0)
+  latency: p50 47ns p95 319ns p99 319ns p99.9 319ns (n=250)
+  count=100 check=true digest=112cd7a2ba62f8
+  pclht/repaired: workers=2 records=100 final=100
+  load: 100 reqs (ok=100 found=0 absent=0 deleted=0 missed=0 unsupported=0 counted=0 errors=0)
+  run: 150 reqs (ok=72 found=78 absent=0 deleted=0 missed=0 unsupported=0 counted=0 errors=0)
+  latency: p50 151ns p95 319ns p99 319ns p99.9 319ns (n=250)
+  count=100 check=true digest=112cd7a2ba62f8
+  serve smoke: pclht manual and repaired agree
+
+  $ hippocrates serve --inproc --app pclht --variant flush-free --records 10 --ops 10
+  error: pclht has no flush-free build (its two bugs are injected, not stripped); use --variant manual or repaired
+  [1]
+
+Socket end-to-end: a Unix-socket server bounded to one connection,
+driven by the load generator over the same binary protocol. (Socket
+transport lives here rather than in the unit tests because OCaml 5
+forbids fork after domains exist.)
+
+  $ SOCK="$PWD/serve.sock"
+  $ hippocrates serve --unix "$SOCK" --expect-conns 2 --jobs 1 >server.out 2>&1 &
+  $ SERVER=$!
+  $ for _ in $(seq 1 50); do [ -S "$SOCK" ] && break; sleep 0.1; done
+  $ hippocrates loadgen --unix "$SOCK" --records 200 --ops 300 --workers 2 --seed 5 --jobs 1 | grep -v kops
+  load: 200 reqs (ok=200 found=0 absent=0 deleted=0 missed=0 unsupported=0 counted=0 errors=0)
+  run: 300 reqs (ok=148 found=152 absent=0 deleted=0 missed=0 unsupported=0 counted=0 errors=0)
+  $ wait $SERVER
+  $ grep -o 'ops=[0-9]*' server.out
+  ops=500

@@ -130,6 +130,94 @@ let test_cost_model_variants () =
   Alcotest.(check bool) "cheap-vol lowers the waste" true
     (Cost.cheap_vol_flush.Cost.flush_vol_ns < d.Cost.flush_vol_ns)
 
+(* ------------------------------------------------------------------ *)
+(* Stats.Hist *)
+
+module Hist = Stats.Hist
+
+let test_hist_buckets_sane () =
+  (* values below one octave get exact buckets *)
+  for v = 0 to 15 do
+    Alcotest.(check int) "small value exact" v (Hist.bucket_of v)
+  done;
+  (* bucket bounds are monotone and every value lands at or below its
+     bucket's inclusive bound *)
+  let prev = ref (-1.0) in
+  for i = 0 to Hist.nbuckets - 1 do
+    let b = Hist.bucket_bound i in
+    Alcotest.(check bool) "bounds monotone" true (b > !prev);
+    prev := b
+  done;
+  List.iter
+    (fun v ->
+      let i = Hist.bucket_of v in
+      Alcotest.(check bool) "value within bucket bound" true
+        (float_of_int v <= Hist.bucket_bound i);
+      (* relative error of the bound is at most 1/16 *)
+      Alcotest.(check bool) "1/16 relative error" true
+        (Hist.bucket_bound i <= float_of_int v *. (1.0 +. 1.0 /. 16.0) +. 1.0))
+    [ 0; 1; 15; 16; 17; 31; 32; 63; 100; 1023; 4096; 123_456; 987_654_321 ]
+
+let test_hist_quantiles () =
+  let h = Hist.create () in
+  for v = 1 to 1000 do
+    Hist.record h v
+  done;
+  Alcotest.(check int) "count" 1000 (Hist.count h);
+  (* the p50 estimate brackets the true median within bucket error *)
+  let p50 = Hist.p50 h in
+  Alcotest.(check bool) "p50 near 500" true (p50 >= 500.0 && p50 <= 540.0);
+  let p99 = Hist.p99 h in
+  Alcotest.(check bool) "p99 near 990" true (p99 >= 990.0 && p99 <= 1055.0);
+  (* quantiles are monotone in q *)
+  let qs = [ 0.0; 0.1; 0.5; 0.9; 0.95; 0.99; 0.999; 1.0 ] in
+  let vals = List.map (Hist.quantile h) qs in
+  let rec mono = function
+    | a :: (b :: _ as rest) -> a <= b && mono rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone in q" true (mono vals);
+  Alcotest.(check (float 1e-9)) "empty quantile" 0.0 (Hist.p99 (Hist.create ()))
+
+let test_hist_sparse_roundtrip () =
+  let h = Hist.create () in
+  List.iter (Hist.record h) [ 3; 3; 47; 1000; 1_000_000 ];
+  let h' = Hist.of_buckets (Hist.buckets h) in
+  Alcotest.(check bool) "sparse round-trip" true
+    (Hist.buckets h = Hist.buckets h' && Hist.count h = Hist.count h');
+  (match Hist.of_buckets [ (Hist.nbuckets, 1) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range index accepted");
+  match Hist.of_buckets [ (0, -1) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative count accepted"
+
+let hist_of_list vs =
+  let h = Hist.create () in
+  List.iter (Hist.record h) vs;
+  h
+
+let prop_hist_merge_associative =
+  QCheck.Test.make ~name:"hist merge is associative and commutative"
+    ~count:100
+    QCheck.(triple (list small_nat) (list small_nat) (list small_nat))
+    (fun (a, b, c) ->
+      let ha = hist_of_list a and hb = hist_of_list b and hc = hist_of_list c in
+      let left = Hist.merge (Hist.merge ha hb) hc in
+      let right = Hist.merge ha (Hist.merge hb hc) in
+      let comm = Hist.merge hb ha in
+      Hist.buckets left = Hist.buckets right
+      && Hist.count left = Hist.count right
+      && Hist.buckets comm = Hist.buckets (Hist.merge ha hb))
+
+let prop_hist_merge_is_concat =
+  QCheck.Test.make ~name:"merge equals recording the concatenation"
+    ~count:100
+    QCheck.(pair (list small_nat) (list small_nat))
+    (fun (a, b) ->
+      Hist.buckets (Hist.merge (hist_of_list a) (hist_of_list b))
+      = Hist.buckets (hist_of_list (a @ b)))
+
 let suite =
   [
     ("stats mean/stddev", `Quick, test_stats_mean_stddev);
@@ -142,4 +230,9 @@ let suite =
     ("timed trials summary", `Quick, test_timed_trials_summary);
     ("volatile flush penalty", `Quick, test_volatile_flush_penalty);
     ("cost model variants", `Quick, test_cost_model_variants);
+    ("hist buckets", `Quick, test_hist_buckets_sane);
+    ("hist quantiles", `Quick, test_hist_quantiles);
+    ("hist sparse round-trip", `Quick, test_hist_sparse_roundtrip);
+    QCheck_alcotest.to_alcotest prop_hist_merge_associative;
+    QCheck_alcotest.to_alcotest prop_hist_merge_is_concat;
   ]

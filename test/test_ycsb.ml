@@ -116,6 +116,30 @@ let test_scan_lengths_bounded () =
       | _ -> ())
     (Workload.ops s ~seed:2)
 
+let test_seq_equals_ops () =
+  (* the streaming generator and the materialized list agree for every
+     workload kind *)
+  List.iter
+    (fun kind ->
+      let s = spec kind in
+      Alcotest.(check bool)
+        (Fmt.str "seq = ops for %s" (Workload.kind_to_string kind))
+        true
+        (List.of_seq (Workload.seq s ~seed:17) = Workload.ops s ~seed:17))
+    Workload.all_kinds
+
+let test_seq_replayable_and_lazy () =
+  let s = spec Workload.A in
+  let head = Workload.seq s ~seed:23 in
+  (* a Seq head can be traversed twice with identical results (fresh
+     PRNG per traversal) *)
+  Alcotest.(check bool) "replayable from head" true
+    (List.of_seq head = List.of_seq head);
+  (* laziness: taking a prefix of a huge stream terminates *)
+  let huge = { s with op_count = 100_000_000 } in
+  let prefix = List.of_seq (Seq.take 5 (Workload.seq huge ~seed:1)) in
+  Alcotest.(check int) "prefix of huge stream" 5 (List.length prefix)
+
 let test_key_value_encoding () =
   Alcotest.(check string) "key format" "user000000000042" (Workload.key_bytes 42);
   Alcotest.(check int) "key length" 16 (String.length (Workload.key_bytes 7));
@@ -152,6 +176,8 @@ let suite =
     ("inserts beyond range", `Quick, test_inserts_use_fresh_keys);
     ("seed determinism", `Quick, test_ops_deterministic_by_seed);
     ("scan lengths", `Quick, test_scan_lengths_bounded);
+    ("seq equals ops", `Quick, test_seq_equals_ops);
+    ("seq replayable and lazy", `Quick, test_seq_replayable_and_lazy);
     ("key/value encoding", `Quick, test_key_value_encoding);
     QCheck_alcotest.to_alcotest prop_zipfian_in_range;
   ]
