@@ -1,6 +1,6 @@
 .PHONY: all build check test bench bench-static bench-par bench-crash \
-	bench-json bench-fuzz bench-serve fuzz-smoke serve-smoke trace-demo \
-	clean fmt
+	bench-json bench-fuzz bench-serve bench-exec fuzz-smoke serve-smoke \
+	trace-demo clean fmt
 
 all: build
 
@@ -43,19 +43,27 @@ bench-fuzz:
 bench-serve:
 	dune exec bench/main.exe -- table_serve --json BENCH_pr6.json
 
+# Compiled execution tier vs the reference interpreter: YCSB ops/s and
+# fuzz-family execs/s per tier, witness agreement, machine-readable
+# results at the repo root (CI artifact).
+bench-exec:
+	dune exec bench/main.exe -- table_exec --json BENCH_pr7.json
+
 # Bounded in-process serve smoke: fixed seed, two domains, exits
 # non-zero if the repaired variant disagrees with manual on any
-# verdict, the final count or the store digest.
+# verdict, the final count or the store digest. Pinned to the compiled
+# tier (the default, but CI states it explicitly).
 serve-smoke:
 	HIPPO_JOBS=2 dune exec bin/hippocrates_cli.exe -- serve --inproc \
-	  --smoke --seed 42 --records 2000 --ops 3000 --workers 4 --jobs 2
+	  --exec compiled --smoke --seed 42 --records 2000 --ops 3000 \
+	  --workers 4 --jobs 2
 
 # Deterministic 60-second-class fuzz smoke: fixed seed and exec budget,
 # exits non-zero on any oracle violation, saves corpus + shrunk
 # reproducers under fuzz-smoke/.
 fuzz-smoke:
-	dune exec bin/hippocrates_cli.exe -- fuzz --smoke --seed 42 \
-	  --jobs 2 --corpus fuzz-smoke
+	dune exec bin/hippocrates_cli.exe -- fuzz --exec compiled --smoke \
+	  --seed 42 --jobs 2 --corpus fuzz-smoke
 
 # One corpus case end to end with engine tracing: JSON-lines events to
 # trace-demo.jsonl, per-phase timing breakdown on stderr.

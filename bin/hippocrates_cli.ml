@@ -34,10 +34,10 @@ let parse_args (args : string list) =
   try Ok (List.map int_of_string args)
   with Failure _ -> Error "entry arguments must be integers"
 
-let run_workload prog ~entry ~args =
-  let t = Interp.create Interp.default_config prog in
+let run_workload prog ~exec ~trace ~entry ~args =
+  let t = Interp.create { Interp.default_config with Interp.exec; trace } prog in
   let ret =
-    try Ok (Interp.call t entry args) with
+    try Ok (Exec.call t entry args) with
     | Mem.Trap m -> Error (Fmt.str "trap: %s" m)
     | Interp.Aborted -> Error "abort() called"
     | Interp.Out_of_fuel -> Error "out of fuel"
@@ -82,6 +82,19 @@ let seed_arg =
         ~doc:"Root RNG seed for randomized modes (fuzzing, crash-point \
               sampling). Every worker derives its own substream from this \
               one value, so results are reproducible at any $(b,--jobs).")
+
+let exec_arg =
+  Arg.(
+    value
+    & opt (enum [ ("interp", `Interp); ("compiled", `Compiled) ])
+        Interp.default_config.Interp.exec
+    & info [ "exec" ] ~docv:"TIER"
+        ~doc:"Execution tier for PMIR workloads: $(b,compiled) (per-block \
+              closure compilation, the default) or $(b,interp) (the \
+              reference interpreter, kept as the differential oracle). \
+              Both tiers produce byte-identical traces, bug reports, \
+              crash verdicts and simulated costs; $(b,interp) exists for \
+              cross-checking and debugging.")
 
 type trace_format = Pmemcheck | Pmtest
 
@@ -152,10 +165,11 @@ let check_cmd =
                 points.")
   in
   let run prog_path entry args trace_out format static crash_sweep
-      crash_strategy crash_sample seed jobs =
+      crash_strategy crash_sample seed jobs exec =
     let ( let* ) = Result.bind in
+    let config = { Interp.default_config with Interp.exec } in
     let sampled_sweep prog ~setup ~checker =
-      let n = Crashsim.count_crash_points prog ~setup in
+      let n = Crashsim.count_crash_points ~config prog ~setup in
       let k = min crash_sample n in
       Fmt.pr "seed: %d (sampling %d of %d crash points)@." seed k n;
       let rand = Hippo_parallel.Stream.state ~seed [ 2 ] in
@@ -166,8 +180,8 @@ let check_cmd =
       let indices = List.sort compare (Hashtbl.fold (fun i () acc -> i :: acc) chosen []) in
       ( List.map
           (fun crash_index ->
-            Crashsim.check_crash prog ~setup ~checker ~checker_args:[]
-              ~crash_index)
+            Crashsim.check_crash ~config prog ~setup ~checker
+              ~checker_args:[] ~crash_index)
           indices,
         None )
     in
@@ -182,7 +196,7 @@ let check_cmd =
               sampled_sweep prog ~setup:[ (entry, args) ] ~checker
             else
               let v, s =
-                Crashsim.sweep_with_stats ~jobs:(max 1 jobs)
+                Crashsim.sweep_with_stats ~config ~jobs:(max 1 jobs)
                   ~strategy:crash_strategy prog
                   ~setup:[ (entry, args) ]
                   ~checker ~checker_args:[]
@@ -246,7 +260,10 @@ let check_cmd =
       if static then static_check prog
       else
       let* args = parse_args args in
-      let t, ret = run_workload prog ~entry ~args in
+      (* the event trace is only materialized when it is written out *)
+      let t, ret =
+        run_workload prog ~exec ~trace:(trace_out <> None) ~entry ~args
+      in
       (match ret with
       | Ok r -> Fmt.pr "%s(%a) returned %d@." entry Fmt.(list ~sep:comma int) args r
       | Error e -> Fmt.pr "execution stopped: %s@." e);
@@ -295,7 +312,7 @@ let check_cmd =
     Term.(
       const run $ prog_arg $ entry_arg $ entry_args_arg $ trace_out
       $ format_arg $ static_flag $ crash_sweep_arg $ crash_strategy_arg
-      $ crash_sample_arg $ seed_arg $ jobs_arg)
+      $ crash_sample_arg $ seed_arg $ jobs_arg $ exec_arg)
 
 (* fix --------------------------------------------------------------- *)
 
@@ -402,7 +419,7 @@ let fix_cmd =
                 $(b,both) (union of the two). Ignored with $(b,--trace).")
   in
   let run prog_path entry args trace_in output no_hoist oracle_choice format
-      portable diff detector trace_out jobs =
+      portable diff detector trace_out jobs exec =
     let ( let* ) = Result.bind in
     let result =
       let* prog = read_program prog_path in
@@ -459,11 +476,13 @@ let fix_cmd =
             else
               Ok (r.Driver.s_repaired, Fmt.str "%a" Driver.pp_static_summary r)
         | None ->
-            let workload t = ignore (Interp.call t entry args) in
+            let workload t = ignore (Exec.call t entry args) in
             let r =
               Driver.repair ~options ~detector ~trace
                 ?static_entries:(static_entries prog ~entry)
-                ~name:prog_path ~workload prog
+                ~name:prog_path ~workload
+                ~config:{ Interp.default_config with Interp.exec }
+                prog
             in
             if not (Verify.effective r.Driver.verification) then
               Error "verification failed: residual bugs after repair"
@@ -502,18 +521,19 @@ let fix_cmd =
     Term.(
       const run $ prog_arg $ entry_arg $ entry_args_arg $ trace_in $ output
       $ no_hoist $ oracle_choice $ format_arg $ portable_flag $ diff_flag
-      $ detector_arg $ trace_out $ jobs_arg)
+      $ detector_arg $ trace_out $ jobs_arg $ exec_arg)
 
 (* run --------------------------------------------------------------- *)
 
 let run_cmd =
-  let run prog_path entry args =
+  let run prog_path entry args exec =
     let ( let* ) = Result.bind in
     let result =
       let* prog = read_program prog_path in
       let* () = validate_or_die prog in
       let* args = parse_args args in
-      let t, ret = run_workload prog ~entry ~args in
+      (* plain execution: nothing reads the event trace, so keep it off *)
+      let t, ret = run_workload prog ~exec ~trace:false ~entry ~args in
       (match ret with
       | Ok r -> Fmt.pr "returned %d@." r
       | Error e -> Fmt.pr "execution stopped: %s@." e);
@@ -530,7 +550,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~exits ~doc:"Execute a PMIR program.")
-    Term.(const run $ prog_arg $ entry_arg $ entry_args_arg)
+    Term.(const run $ prog_arg $ entry_arg $ entry_args_arg $ exec_arg)
 
 (* fuzz -------------------------------------------------------------- *)
 
@@ -566,7 +586,7 @@ let fuzz_cmd =
           ~doc:"CI smoke mode: small fixed budget, fully deterministic \
                 output for a given $(b,--seed) at any $(b,--jobs).")
   in
-  let run time execs seed corpus_dir smoke jobs =
+  let run time execs seed corpus_dir smoke jobs exec =
     let max_execs =
       match execs with
       | Some e -> e
@@ -580,6 +600,7 @@ let fuzz_cmd =
         max_time = time;
         corpus_dir;
         smoke;
+        exec;
       }
     in
     Fmt.pr "fuzz: seed %d, budget %s@." seed
@@ -600,7 +621,7 @@ let fuzz_cmd =
              reproducers.")
     Term.(
       const run $ time_arg $ execs_arg $ seed_arg $ corpus_dir_arg
-      $ smoke_flag $ jobs_arg)
+      $ smoke_flag $ jobs_arg $ exec_arg)
 
 (* serve / loadgen ---------------------------------------------------- *)
 
@@ -700,12 +721,12 @@ let serve_cmd =
                 tests and benches); default: serve forever.")
   in
   let run app variant workload records ops workers inproc smoke unix_path
-      port expect_conns seed jobs =
+      port expect_conns seed jobs exec =
     let kind_name = Hippo_apps.App.kind_to_string app in
     if inproc || smoke then
       Hippo_parallel.Pool.run ~domains:(max 1 jobs) (fun pool ->
           let run_variant variant =
-            Hippo_serve.Drive.run_inproc ~pool ~app ~variant ~workload
+            Hippo_serve.Drive.run_inproc ~exec ~pool ~app ~variant ~workload
               ~records ~ops ~workers ~seed ()
           in
           if smoke then
@@ -755,7 +776,8 @@ let serve_cmd =
           (* capacity hint: socket-mode traffic is bounded by the client's
              --records/--ops, which the server mirrors here *)
           let config =
-            Hippo_serve.Drive.serve_config ~final_records:(records + ops)
+            Hippo_serve.Drive.serve_config ~exec
+              ~final_records:(records + ops) ()
           in
           let nbuckets =
             Hippo_serve.Drive.serve_nbuckets ~final_records:(records + ops)
@@ -784,7 +806,7 @@ let serve_cmd =
     Term.(
       const run $ app_arg $ variant_arg $ workload_arg $ records_arg
       $ ops_arg $ workers_arg $ inproc_flag $ smoke_flag $ unix_arg
-      $ port_arg $ expect_conns_arg $ seed_arg $ jobs_arg)
+      $ port_arg $ expect_conns_arg $ seed_arg $ jobs_arg $ exec_arg)
 
 let loadgen_cmd =
   let skip_load_flag =
@@ -793,7 +815,11 @@ let loadgen_cmd =
       & info [ "skip-load" ]
           ~doc:"Skip the load phase (the server is already populated).")
   in
-  let run workload records ops workers unix_path port skip_load seed jobs =
+  (* --exec is accepted so serve/loadgen scripts can pass one uniform flag
+     set; the generator itself is a pure socket client and executes no
+     PMIR — the tier in effect is the server's. *)
+  let run workload records ops workers unix_path port skip_load seed jobs
+      (_exec : [ `Interp | `Compiled ]) =
     let connect =
       match (unix_path, port) with
       | Some path, None ->
@@ -832,7 +858,8 @@ let loadgen_cmd =
              per-worker op substreams.")
     Term.(
       const run $ workload_arg $ records_arg $ ops_arg $ workers_arg
-      $ unix_arg $ port_arg $ skip_load_flag $ seed_arg $ jobs_arg)
+      $ unix_arg $ port_arg $ skip_load_flag $ seed_arg $ jobs_arg
+      $ exec_arg)
 
 (* corpus ------------------------------------------------------------ *)
 

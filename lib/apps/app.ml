@@ -120,20 +120,20 @@ let redis_adapter ~name ~nbuckets config prog : t =
       (fun ~key ~value ->
         put_key key;
         put_value value;
-        ignore (Interp.call s.Redis_mini.interp "cmd_set" []));
+        ignore (Exec.call s.Redis_mini.interp "cmd_set" []));
     read =
       (fun ~key ->
         put_key key;
-        let vl = Interp.call s.Redis_mini.interp "cmd_get" [] in
+        let vl = Exec.call s.Redis_mini.interp "cmd_get" [] in
         if vl < 0 then Absent
         else Found (Mem.read_string mem ~addr:s.Redis_mini.reply_buf ~len:vl));
     delete =
       (fun ~key ->
         put_key key;
-        Interp.call s.Redis_mini.interp "cmd_del" [] = 1);
+        Exec.call s.Redis_mini.interp "cmd_del" [] = 1);
     scan = (fun ~start:_ ~len:_ -> Scan_unsupported);
-    count = (fun () -> Interp.call s.Redis_mini.interp "cmd_count" []);
-    check = (fun () -> Interp.call s.Redis_mini.interp "cmd_check" [] <> 0);
+    count = (fun () -> Exec.call s.Redis_mini.interp "cmd_count" []);
+    check = (fun () -> Exec.call s.Redis_mini.interp "cmd_check" [] <> 0);
     cost_ns = (fun () -> Interp.cost_ns s.Redis_mini.interp);
   }
 
@@ -154,7 +154,7 @@ let word_of_string str =
 
 let pclht_adapter ~name ~nbuckets config prog : t =
   let s = Pclht.start ~config ~nbuckets prog in
-  let call f args = Interp.call s.Pclht.interp f args in
+  let call f args = Exec.call s.Pclht.interp f args in
   {
     name;
     interp = s.Pclht.interp;
@@ -178,7 +178,8 @@ let pclht_adapter ~name ~nbuckets config prog : t =
     wraps a fresh session. The default config suits small smoke runs;
     million-key services should size [pm_size] and bucket counts to the
     expected record count. *)
-let make ?(config = Interp.default_config) ?(nbuckets = 1024) kind variant :
+let make ?(config = { Interp.default_config with Interp.trace = false })
+    ?(nbuckets = 1024) kind variant :
     (t, string) result =
   let name =
     Fmt.str "%s/%s" (kind_to_string kind) (variant_to_string variant)

@@ -64,7 +64,10 @@ let repair_variants () : variants =
     pmemcheck reports no durability bugs on any of the three (the paper's
     precondition for the performance comparison). *)
 let residual_bugs prog =
-  let t = Interp.create Interp.default_config prog in
+  (* bug collection does not need the event trace *)
+  let t =
+    Interp.create { Interp.default_config with Interp.trace = false } prog
+  in
   repair_workload t;
   Interp.exit_check t;
   Interp.bugs t

@@ -28,6 +28,10 @@ let effective o = o.residual_bugs = []
 
 let check ~jobs ~(workload : Interp.t -> unit) ~(config : Interp.config)
     ~(original : Program.t) ~(repaired : Program.t) : outcome =
+  (* Everything this check compares — bugs, outputs, working images — is
+     identical with tracing off (seq numbers advance either way), so the
+     two full workload runs skip event materialization. *)
+  let config = { config with Interp.trace = false } in
   let run prog =
     let t = Interp.create config prog in
     let crashed =

@@ -10,6 +10,7 @@ type config = {
   max_time : float;
   corpus_dir : string option;
   smoke : bool;
+  exec : Exec.tier;
 }
 
 let default_config =
@@ -20,6 +21,7 @@ let default_config =
     max_time = 0.;
     corpus_dir = None;
     smoke = false;
+    exec = Interp.default_config.Interp.exec;
   }
 
 type found = {
@@ -72,7 +74,7 @@ let blind_edge_count cfg pool n =
     Pool.map pool
       (fun i ->
         let rand = Stream.state ~seed:cfg.seed [ ns_blind; i ] in
-        Oracle.coverage_edges (generate rand))
+        Oracle.coverage_edges ~exec:cfg.exec (generate rand))
       (List.init n Fun.id)
   in
   let cov = Coverage.create () in
@@ -128,7 +130,8 @@ let run cfg =
         in
         let results =
           Pool.map pool
-            (fun (origin, prog) -> (origin, prog, Oracle.evaluate prog))
+            (fun (origin, prog) ->
+              (origin, prog, Oracle.evaluate ~exec:cfg.exec prog))
             candidates
         in
         List.iter
@@ -150,7 +153,11 @@ let run cfg =
       let found =
         List.rev_map
           (fun ((v : Oracle.violation), prog) ->
-            let shrunk = Shrink.shrink ~fails:(Oracle.fails ~oracle:v.oracle) prog in
+            let shrunk =
+              Shrink.shrink
+                ~fails:(Oracle.fails ~exec:cfg.exec ~oracle:v.oracle)
+                prog
+            in
             {
               f_oracle = v.oracle;
               f_detail = v.detail;

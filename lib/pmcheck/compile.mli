@@ -1,0 +1,18 @@
+(** The compiled execution tier: closure-threaded PMIR.
+
+    Prepared basic blocks become chains of OCaml closures — operand
+    shapes, access sizes and the trace/coverage/cost/image hooks are
+    specialized when the closure is built, registers live in a
+    preallocated [int array], and branch targets are pre-resolved block
+    slots. Functions compile lazily, memoized per machine.
+
+    The contract with {!Interp} is bit-identical observables: trace
+    events (including seq numbers), bugs, output, [cost_ns], coverage,
+    crash images and crash-point counts. [steps] agrees on every normal,
+    out-of-fuel, aborted and stopped-at-crash path (it may overshoot by a
+    segment tail only when a {!Mem.Trap} aborts the run). *)
+
+(** [call t name args] invokes a function from the host through the
+    compiled tier. Same exceptions and accumulation semantics as
+    {!Interp.call}. *)
+val call : Machine.t -> string -> int list -> int

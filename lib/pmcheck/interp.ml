@@ -5,284 +5,46 @@
     fences, calls — each with its call stack), and reports every store that
     is not durable when a crash point or program exit is reached.
 
-    Programs are first {e prepared}: register names become array slots,
-    block labels become code indices, callees become function indices — a
-    one-time cost that makes the YCSB benchmark workloads (millions of
-    interpreted instructions) tractable. *)
+    Since the compiled tier ({!Compile}) landed, this module is the
+    differential {e oracle}: a direct, obviously-correct walk over the
+    prepared code shared with the compiler ({!Prep}), against which the
+    compiled closures are checked bit for bit. [Interp.call] always
+    interprets; use {!Exec.call} to dispatch on [config.exec]. *)
 
 open Hippo_pmir
+open Prep
+open Machine
 
-exception Aborted
-exception Out_of_fuel
-exception Stopped_at_crash
+exception Aborted = Machine.Aborted
+exception Out_of_fuel = Machine.Out_of_fuel
+exception Stopped_at_crash = Machine.Stopped_at_crash
 
-type pval = PReg of int | PImm of int
-
-type intrinsic =
-  | Ipm_alloc
-  | Ipm_base
-  | Ipm_size
-  | Imalloc
-  | Ifree
-  | Iemit
-  | Iabort
-
-type callee = Cfunc of int | Cintrinsic of intrinsic
-
-(* Branchy operations carry their coverage-map indices, precomputed from
-   the stable (function, block, successor) naming at preparation time so
-   the hot loop never hashes a string. *)
-type pop =
-  | PStore of { addr : pval; value : pval; size : int; nt : bool }
-  | PLoad of { dst : int; addr : pval; size : int }
-  | PFlush of { kind : Instr.flush_kind; addr : pval }
-  | PFence of { kind : Instr.fence_kind }
-  | PBinop of { dst : int; op : Instr.binop; lhs : pval; rhs : pval }
-  | PMov of { dst : int; src : pval }
-  | PGep of { dst : int; base : pval; offset : pval }
-  | PAlloca of { dst : int; size : int }
-  | PCall of { dst : int; callee : callee; args : pval array; edge : int }
-      (** [dst = -1] when the result is discarded *)
-  | PJmp of { target : int; edge : int }
-  | PCondbr of {
-      cond : pval;
-      if_true : int;
-      if_false : int;
-      edge_true : int;
-      edge_false : int;
-    }
-  | PRet of pval option
-  | PCrash of { edge : int }
-
-type pinstr = { iid : Iid.t; loc : Loc.t; op : pop }
-
-type pfunc = { fname : string; nregs : int; pslots : int array; code : pinstr array }
-
-type config = {
-  trace : bool;  (** record the PM operation trace *)
-  fuel : int;  (** maximum interpreted instructions *)
-  cost : Cost.t option;  (** account simulated latency *)
-  stop_at_crash : int option;  (** halt at the n-th crash point (1-based) *)
-  track_images : bool;  (** fingerprint both PM images incrementally *)
+type config = Machine.config = {
+  trace : bool;
+  fuel : int;
+  cost : Cost.t option;
+  stop_at_crash : int option;
+  track_images : bool;
   coverage : Coverage.t option;
-      (** mark executed control edges in this map (the fuzzer's signal);
-          [None] (the default) skips all marking *)
+  exec : Machine.tier;
   vol_size : int;
   stack_size : int;
   global_size : int;
   pm_size : int;
 }
 
-let default_config =
-  {
-    trace = true;
-    fuel = 200_000_000;
-    cost = None;
-    stop_at_crash = None;
-    track_images = false;
-    coverage = None;
-    vol_size = 1 lsl 24;
-    stack_size = 1 lsl 22;
-    global_size = 1 lsl 20;
-    pm_size = 1 lsl 24;
-  }
+let default_config = Machine.default_config
 
-(* Preparation ------------------------------------------------------------ *)
+type t = Machine.t
 
-let intrinsic_of_name = function
-  | "pm_alloc" -> Some Ipm_alloc
-  | "pm_base" -> Some Ipm_base
-  | "pm_size" -> Some Ipm_size
-  | "malloc" -> Some Imalloc
-  | "free" -> Some Ifree
-  | "emit" -> Some Iemit
-  | "abort" -> Some Iabort
-  | _ -> None
-
-let prepare_func ~fidx ~global_addr (f : Func.t) : pfunc =
-  let slots = Hashtbl.create 32 in
-  let next = ref 0 in
-  let slot r =
-    match Hashtbl.find_opt slots r with
-    | Some i -> i
-    | None ->
-        let i = !next in
-        incr next;
-        Hashtbl.add slots r i;
-        i
-  in
-  let pslots = Array.of_list (List.map slot (Func.params f)) in
-  let blocks = Func.blocks f in
-  (* Block label -> code index of its first instruction. *)
-  let starts = Hashtbl.create 16 in
-  let _ =
-    List.fold_left
-      (fun idx (b : Func.block) ->
-        Hashtbl.add starts b.label idx;
-        idx + List.length b.instrs)
-      0 blocks
-  in
-  let target l =
-    match Hashtbl.find_opt starts l with
-    | Some i -> i
-    | None -> Mem.trap "undefined label %S in @%s" l (Func.name f)
-  in
-  let pv : Value.t -> pval = function
-    | Value.Reg r -> PReg (slot r)
-    | Value.Imm n -> PImm n
-    | Value.Global g -> PImm (global_addr g)
-    | Value.Null -> PImm 0
-  in
-  let fname = Func.name f in
-  let pop ~block (i : Instr.t) : pop =
-    let cov dest = Coverage.edge ~func:fname ~block ~dest in
-    match Instr.op i with
-    | Instr.Store { addr; value; size; nontemporal } ->
-        PStore { addr = pv addr; value = pv value; size; nt = nontemporal }
-    | Instr.Load { dst; addr; size } -> PLoad { dst = slot dst; addr = pv addr; size }
-    | Instr.Flush { kind; addr } -> PFlush { kind; addr = pv addr }
-    | Instr.Fence { kind } -> PFence { kind }
-    | Instr.Binop { dst; op; lhs; rhs } ->
-        PBinop { dst = slot dst; op; lhs = pv lhs; rhs = pv rhs }
-    | Instr.Mov { dst; src } -> PMov { dst = slot dst; src = pv src }
-    | Instr.Gep { dst; base; offset } ->
-        PGep { dst = slot dst; base = pv base; offset = pv offset }
-    | Instr.Alloca { dst; size } -> PAlloca { dst = slot dst; size }
-    | Instr.Call { dst; callee; args } ->
-        let target =
-          match Hashtbl.find_opt fidx callee with
-          | Some i -> Cfunc i
-          | None -> (
-              match intrinsic_of_name callee with
-              | Some it -> Cintrinsic it
-              | None -> Mem.trap "call to undefined function @%s" callee)
-        in
-        PCall
-          {
-            dst = (match dst with Some d -> slot d | None -> -1);
-            callee = target;
-            args = Array.of_list (List.map pv args);
-            edge = cov callee;
-          }
-    | Instr.Br { target = l } -> PJmp { target = target l; edge = cov l }
-    | Instr.Condbr { cond; if_true; if_false } ->
-        PCondbr
-          {
-            cond = pv cond;
-            if_true = target if_true;
-            if_false = target if_false;
-            edge_true = cov if_true;
-            edge_false = cov if_false;
-          }
-    | Instr.Ret v -> PRet (Option.map pv v)
-    | Instr.Crash -> PCrash { edge = cov "!crash" }
-  in
-  let code =
-    List.concat_map
-      (fun (b : Func.block) ->
-        List.map
-          (fun i ->
-            { iid = Instr.iid i; loc = Instr.loc i; op = pop ~block:b.label i })
-          b.instrs)
-      blocks
-    |> Array.of_list
-  in
-  { fname = Func.name f; nregs = !next; pslots; code }
-
-(* Interpreter state ------------------------------------------------------ *)
-
-type t = {
-  prog : Program.t;
-  pfuncs : pfunc array;
-  fidx : (string, int) Hashtbl.t;
-  mem : Mem.t;
-  ps : Pstate.t;
-  cfg : config;
-  cov : Coverage.t option;  (** = [cfg.coverage], hoisted for the hot loop *)
-  mutable seq : int;
-  mutable steps : int;
-  mutable trace_rev : Trace.event list;
-  mutable bugs_rev : Report.bug list;
-  mutable output_rev : int list;
-  mutable cost_ns : float;
-  mutable crashes_hit : int;
-  mutable crash_hook : (unit -> unit) option;
-      (** fired at every explicit crash point (the single-pass sweep's
-          image-capture callback) *)
-  mutable frames : Trace.stack;  (** current call stack, innermost first *)
-  stats : Sitestats.t;  (** per-site pointer-class observations *)
-}
-
-let create ?pm_image (cfg : config) (prog : Program.t) : t =
-  let funcs = Program.funcs prog in
-  let fidx = Hashtbl.create 64 in
-  List.iteri (fun i f -> Hashtbl.add fidx (Func.name f) i) funcs;
-  let mem =
-    Mem.create ~vol_size:cfg.vol_size ~stack_size:cfg.stack_size
-      ~global_size:cfg.global_size ~pm_size:cfg.pm_size ?pm_image
-      ~track_images:cfg.track_images (Program.globals prog)
-  in
-  let global_addr = Mem.global_addr mem in
-  let pfuncs =
-    Array.of_list (List.map (prepare_func ~fidx ~global_addr) funcs)
-  in
-  {
-    prog;
-    pfuncs;
-    fidx;
-    mem;
-    ps = Pstate.create ();
-    cfg;
-    cov = cfg.coverage;
-    seq = 0;
-    steps = 0;
-    trace_rev = [];
-    bugs_rev = [];
-    output_rev = [];
-    cost_ns = 0.0;
-    crashes_hit = 0;
-    crash_hook = None;
-    frames = [];
-    stats = Sitestats.create ();
-  }
-
-let mem t = t.mem
-let set_crash_hook t f = t.crash_hook <- Some f
-
-(** Explicit crash points passed so far — maintained whether or not the
-    trace is recorded, so callers can count crash points without
-    materializing a trace. *)
-let crash_points_hit t = t.crashes_hit
-
-let next_seq t =
-  let s = t.seq in
-  t.seq <- s + 1;
-  s
-
-let push_event t ev = if t.cfg.trace then t.trace_rev <- ev :: t.trace_rev
-
-let classify_arg v : Trace.arg_class =
-  if Layout.is_pm v then Trace.Pm_ptr
-  else if Layout.is_volatile_ptr v then Trace.Vol_ptr
-  else Trace.Not_ptr
-
-let record_crash_point t ~iid ~loc =
-  t.crashes_hit <- t.crashes_hit + 1;
-  let crash : Report.crash_info =
-    { crash_iid = iid; crash_loc = loc; crash_stack = t.frames }
-  in
-  push_event t
-    (Trace.Crash_point { iid; loc; stack = t.frames; seq = next_seq t });
-  let bugs = Pstate.unpersisted_bugs t.ps ~crash in
-  t.bugs_rev <- List.rev_append bugs t.bugs_rev;
-  (match t.crash_hook with Some f -> f () | None -> ());
-  match t.cfg.stop_at_crash with
-  | Some n when t.crashes_hit >= n -> raise Stopped_at_crash
-  | _ -> ()
+let create = Machine.create
+let mem = Machine.mem
+let set_crash_hook = Machine.set_crash_hook
+let crash_points_hit = Machine.crash_points_hit
 
 (* Execution -------------------------------------------------------------- *)
 
-let rec exec_call t (pf : pfunc) (args : int array) : int =
+let rec exec_call (t : Machine.t) (pf : pfunc) (args : int array) : int =
   if Array.length args <> Array.length pf.pslots then
     Mem.trap "@%s called with %d arguments (expects %d)" pf.fname
       (Array.length args) (Array.length pf.pslots);
@@ -291,7 +53,8 @@ let rec exec_call t (pf : pfunc) (args : int array) : int =
   let stack_mark = Mem.stack_mark t.mem in
   let cost = t.cfg.cost in
   let ev (v : pval) = match v with PReg i -> regs.(i) | PImm n -> n in
-  let charge ns = t.cost_ns <- t.cost_ns +. ns in
+  let acc = t.cost_acc in
+  let charge ns = acc.fv <- acc.fv +. ns in
   let code = pf.code in
   let ncode = Array.length code in
   let pc = ref 0 in
@@ -338,7 +101,8 @@ let rec exec_call t (pf : pfunc) (args : int array) : int =
         let a = ev addr in
         regs.(dst) <- Mem.load t.mem ~addr:a ~size;
         (match cost with
-        | Some c -> charge (if Layout.is_pm a then c.load_pm_ns else c.load_dram_ns)
+        | Some c ->
+            charge (if Layout.is_pm a then c.load_pm_ns else c.load_dram_ns)
         | None -> ())
     | PStore { addr; value; size; nt } ->
         let a = ev addr and v = ev value in
@@ -354,36 +118,39 @@ let rec exec_call t (pf : pfunc) (args : int array) : int =
              ignore
                (Pstate.store t.ps ~iid:i.iid ~loc:i.loc ~stack:t.frames ~addr:a
                   ~size ~seq));
-          push_event t
-            (Trace.Store
-               {
-                 iid = i.iid;
-                 loc = i.loc;
-                 stack = t.frames;
-                 addr = a;
-                 size;
-                 nontemporal = nt;
-                 seq;
-               })
+          if t.cfg.trace then
+            push_event t
+              (Trace.Store
+                 {
+                   iid = i.iid;
+                   loc = i.loc;
+                   stack = t.frames;
+                   addr = a;
+                   size;
+                   nontemporal = nt;
+                   seq;
+                 })
         end;
         (match cost with
-        | Some c -> charge (if Layout.is_pm a then c.store_pm_ns else c.store_dram_ns)
+        | Some c ->
+            charge (if Layout.is_pm a then c.store_pm_ns else c.store_dram_ns)
         | None -> ())
     | PFlush { kind; addr } ->
         let a = ev addr in
         let moved = Pstate.flush t.ps t.mem ~iid:i.iid ~kind ~addr:a in
         if Layout.is_pm a then begin
           let seq = next_seq t in
-          push_event t
-            (Trace.Flush
-               {
-                 iid = i.iid;
-                 loc = i.loc;
-                 stack = t.frames;
-                 kind;
-                 line_addr = Layout.line_base a;
-                 seq;
-               })
+          if t.cfg.trace then
+            push_event t
+              (Trace.Flush
+                 {
+                   iid = i.iid;
+                   loc = i.loc;
+                   stack = t.frames;
+                   kind;
+                   line_addr = Layout.line_base a;
+                   seq;
+                 })
         end;
         (match cost with
         | Some c ->
@@ -395,8 +162,10 @@ let rec exec_call t (pf : pfunc) (args : int array) : int =
     | PFence { kind } ->
         let seq = next_seq t in
         let drained = Pstate.fence t.ps t.mem ~seq in
-        push_event t
-          (Trace.Fence { iid = i.iid; loc = i.loc; stack = t.frames; kind; seq });
+        if t.cfg.trace then
+          push_event t
+            (Trace.Fence
+               { iid = i.iid; loc = i.loc; stack = t.frames; kind; seq });
         (match cost with
         | Some c ->
             charge
@@ -442,8 +211,7 @@ let rec exec_call t (pf : pfunc) (args : int array) : int =
                       loc = i.loc;
                       stack = t.frames;
                       callee = callee_pf.fname;
-                      arg_classes =
-                        Array.to_list (Array.map classify_arg argv);
+                      arg_classes = Array.to_list (Array.map classify_arg argv);
                       seq;
                     }));
             t.frames <-
@@ -479,8 +247,10 @@ let rec exec_call t (pf : pfunc) (args : int array) : int =
   !result
 
 (** [call t name args] invokes a function from the host (as the test driver
-    invokes the program under valgrind). The persistency state, the trace
-    and detected bugs accumulate across calls. *)
+    invokes the program under valgrind) — always through the interpreter,
+    whatever [config.exec] says; this is what makes it the oracle. The
+    persistency state, the trace and detected bugs accumulate across
+    calls. *)
 let call t name args =
   match Hashtbl.find_opt t.fidx name with
   | None -> Mem.trap "call to undefined function @%s" name
@@ -492,35 +262,20 @@ let call t name args =
 
 (* Results ---------------------------------------------------------------- *)
 
-(** [exit_check t] performs the implicit crash point at program exit:
-    pmemcheck's "number of stores not made persistent" summary. *)
-let exit_check t =
-  let crash : Report.crash_info =
-    {
-      crash_iid = None;
-      crash_loc = Loc.make ~file:"<exit>" ~line:0;
-      crash_stack = [];
-    }
-  in
-  let bugs = Pstate.unpersisted_bugs t.ps ~crash in
-  t.bugs_rev <- List.rev_append bugs t.bugs_rev;
-  push_event t
-    (Trace.Crash_point
-       { iid = None; loc = crash.crash_loc; stack = []; seq = next_seq t })
+let exit_check = Machine.exit_check
+let trace = Machine.trace
+let site_stats = Machine.site_stats
+let bugs = Machine.bugs
+let raw_bugs = Machine.raw_bugs
+let output = Machine.output
+let cost_ns = Machine.cost_ns
+let steps = Machine.steps
+let pstate = Machine.pstate
+let crash_image = Machine.crash_image
+let global_addr = Machine.global_addr
 
-let trace t = List.rev t.trace_rev
-let site_stats t = t.stats
-let bugs t = Report.dedup (List.rev t.bugs_rev)
-let raw_bugs t = List.rev t.bugs_rev
-let output t = List.rev t.output_rev
-let cost_ns t = t.cost_ns
-let steps t = t.steps
-let pstate t = t.ps
-let crash_image t = Mem.crash_image t.mem
-let global_addr t name = Mem.global_addr t.mem name
-
-(** One-shot convenience: run [entry] with [args], then apply the exit
-    check. Returns the interpreter for inspection. *)
+(** One-shot convenience: run [entry] with [args] under the interpreter,
+    then apply the exit check. Returns the machine for inspection. *)
 let run ?pm_image ?(config = default_config) prog ~entry ~args =
   let t = create ?pm_image config prog in
   let ret =

@@ -6,8 +6,13 @@
     that is not durable when a crash point or program exit is reached.
 
     Programs are prepared once (register names become array slots, labels
-    become code indices, callees become function indices), which makes the
-    YCSB benchmark workloads tractable.
+    become code indices, callees become function indices — see {!Prep}),
+    which makes the YCSB benchmark workloads tractable.
+
+    [Interp.call] {e always} interprets, whatever [config.exec] says —
+    that discipline is what makes it the differential oracle for the
+    compiled tier. Use {!Exec.call} when the caller should honour the
+    configured tier.
 
     A typical bug-finding session:
     {[
@@ -28,7 +33,7 @@ exception Stopped_at_crash
 (** raised when [stop_at_crash] is reached; the durable image is then the
     crash state under study *)
 
-type config = {
+type config = Machine.config = {
   trace : bool;  (** record the PM operation trace and site statistics *)
   fuel : int;  (** maximum interpreted instructions *)
   cost : Cost.t option;  (** account simulated latency *)
@@ -40,6 +45,9 @@ type config = {
       (** mark executed control edges in this map (the fuzzer's guidance
           signal); [None] (the default) skips all marking — the hot loop
           only tests one immutable field per branch *)
+  exec : Machine.tier;
+      (** which tier {!Exec} dispatches to (default [`Compiled]); ignored
+          by [Interp.call]/[Interp.run], which always interpret *)
   vol_size : int;
   stack_size : int;
   global_size : int;
@@ -48,7 +56,7 @@ type config = {
 
 val default_config : config
 
-type t
+type t = Machine.t
 
 (** [create ?pm_image cfg prog] prepares the program and builds a fresh
     machine; [pm_image] seeds persistent memory (a restart). *)
@@ -67,9 +75,10 @@ val set_crash_hook : t -> (unit -> unit) -> unit
 val crash_points_hit : t -> int
 
 (** [call t name args] invokes a function from the host (as a test driver
-    invokes the program under valgrind). Persistency state, trace and
-    detected bugs accumulate across calls. Raises {!Mem.Trap},
-    {!Aborted}, {!Out_of_fuel} or {!Stopped_at_crash}. *)
+    invokes the program under valgrind), always through the interpreter.
+    Persistency state, trace and detected bugs accumulate across calls.
+    Raises {!Mem.Trap}, {!Aborted}, {!Out_of_fuel} or
+    {!Stopped_at_crash}. *)
 val call : t -> string -> int list -> int
 
 (** [exit_check t] performs the implicit crash point at program exit:
@@ -98,7 +107,8 @@ val crash_image : t -> Bytes.t
 
 val global_addr : t -> string -> int
 
-(** One-shot convenience: run [entry] with [args], then the exit check. *)
+(** One-shot convenience: run [entry] with [args] under the interpreter,
+    then the exit check. *)
 val run :
   ?pm_image:Bytes.t ->
   ?config:config ->

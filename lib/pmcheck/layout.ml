@@ -23,7 +23,7 @@ let region_of_addr addr =
     | 4 -> Pm
     | _ -> Wild
 
-let is_pm addr = addr lsr 28 = 4
+let[@inline] is_pm addr = addr lsr 28 = 4
 
 (** A volatile pointer: a valid address outside persistent memory. Used to
     classify call arguments for the Trace-AA heuristic — integers that are

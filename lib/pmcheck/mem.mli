@@ -54,6 +54,20 @@ val load : t -> addr:int -> size:int -> int
 
 val store : t -> addr:int -> size:int -> int -> unit
 
+(** Size-specialized variants for the compiled tier: same bounds checks
+    and trap messages as [load]/[store], without the per-access size
+    dispatch. The [storeN] variants bypass the image tracker and must only
+    be used when {!tracking} is false. *)
+
+val load1 : t -> int -> int
+val load2 : t -> int -> int
+val load4 : t -> int -> int
+val load8 : t -> int -> int
+val store1 : t -> int -> int -> unit
+val store2 : t -> int -> int -> unit
+val store4 : t -> int -> int -> unit
+val store8 : t -> int -> int -> unit
+
 (** [persist_range t ~addr ~size] copies working PM content into the
     persisted image (called by {!Pstate} when a range becomes durable). *)
 val persist_range : t -> addr:int -> size:int -> unit

@@ -1,0 +1,279 @@
+(* Differential battery for the compiled execution tier: every observable
+   of a run — result, bugs, output, trace, cost, steps, coverage, crash
+   points, crash images — must be byte-identical between the interpreter
+   oracle and the compiled closures, over randomized programs from the
+   fuzzer's generator and over hand-built trap edge cases. *)
+
+open Hippo_pmir
+open Hippo_pmcheck
+module Gen = Hippo_fuzz.Gen
+
+let v = Value.reg
+let i = Value.imm
+
+(* ------------------------------------------------------------------ *)
+(* Observation: everything a run exposes, in comparable form. *)
+
+type obs = {
+  ret : string;
+  bugs : string list;
+  raw_bugs : string list;
+  output : int list;
+  trace : string list;
+  cost_ns : float;
+  steps : int;
+  crash_points : int;
+  cov : int list;
+}
+
+let ret_to_string = function
+  | Ok n -> Printf.sprintf "ok:%d" n
+  | Error `Stopped_at_crash -> "stopped_at_crash"
+  | Error `Aborted -> "aborted"
+  | Error `Out_of_fuel -> "out_of_fuel"
+
+let observe ~tier ~trace ~cost ?(fuel = Machine.default_config.fuel)
+    ?stop_at_crash prog =
+  let cov = Coverage.create () in
+  let config =
+    {
+      Machine.default_config with
+      exec = tier;
+      trace;
+      cost;
+      fuel;
+      stop_at_crash;
+      coverage = Some cov;
+    }
+  in
+  let t, ret = Exec.run ~config prog ~entry:"main" ~args:[] in
+  {
+    ret = ret_to_string ret;
+    bugs = List.map Report.bug_to_string (Interp.bugs t);
+    raw_bugs = List.map Report.bug_to_string (Interp.raw_bugs t);
+    output = Interp.output t;
+    trace = List.map Trace.to_line (Interp.trace t);
+    cost_ns = Interp.cost_ns t;
+    steps = Interp.steps t;
+    crash_points = Interp.crash_points_hit t;
+    cov = Coverage.to_list cov;
+  }
+
+(* Polymorphic equality is exact here: strings, ints, and a float compared
+   bit-for-bit (cost must accumulate in the same order in both tiers). *)
+let parity ~trace ~cost ?fuel ?stop_at_crash prog =
+  observe ~tier:`Interp ~trace ~cost ?fuel ?stop_at_crash prog
+  = observe ~tier:`Compiled ~trace ~cost ?fuel ?stop_at_crash prog
+
+(* ------------------------------------------------------------------ *)
+(* QCheck properties over the fuzzer's program family. *)
+
+let prop_parity_full =
+  QCheck.Test.make ~name:"interp/compiled parity (trace+cost, mixed)"
+    ~count:80 Gen.arb_mixed (fun prog ->
+      parity ~trace:true ~cost:(Some Cost.default) prog)
+
+let prop_parity_lean =
+  QCheck.Test.make ~name:"interp/compiled parity (lean config, mixed)"
+    ~count:80 Gen.arb_mixed (fun prog ->
+      parity ~trace:false ~cost:None prog)
+
+let prop_parity_crash_family =
+  QCheck.Test.make ~name:"interp/compiled parity (crash family)" ~count:60
+    Gen.arb_crash (fun prog ->
+      parity ~trace:true ~cost:(Some Cost.default) prog
+      && parity ~trace:false ~cost:None prog)
+
+let prop_parity_out_of_fuel =
+  QCheck.Test.make ~name:"interp/compiled parity at fuel exhaustion"
+    ~count:60 Gen.arb_mixed (fun prog ->
+      (* tiny budgets stop mid-program: the compiled tier's segment
+         pre-charge must give the exact same Out_of_fuel point, steps
+         count and trace prefix *)
+      List.for_all
+        (fun fuel -> parity ~trace:true ~cost:(Some Cost.default) ~fuel prog)
+        [ 1; 7; 23; 61; 144 ])
+
+(* Crash images: stop both tiers at every crash point in turn and compare
+   the durable and working PM images byte for byte. *)
+let prop_parity_crash_images =
+  QCheck.Test.make ~name:"interp/compiled crash images at every stop index"
+    ~count:25 Gen.arb_crash (fun prog ->
+      let count =
+        let config = { Machine.default_config with trace = false } in
+        let t, _ = Exec.run ~config prog ~entry:"main" ~args:[] in
+        Interp.crash_points_hit t
+      in
+      let snap tier k =
+        let config =
+          {
+            Machine.default_config with
+            exec = tier;
+            trace = false;
+            stop_at_crash = Some k;
+          }
+        in
+        let t, ret = Exec.run ~config prog ~entry:"main" ~args:[] in
+        (ret_to_string ret, Interp.crash_image t,
+         Mem.working_image (Interp.mem t))
+      in
+      let ok = ref true in
+      for k = 1 to count do
+        let r1, p1, w1 = snap `Interp k and r2, p2, w2 = snap `Compiled k in
+        if not (r1 = r2 && Bytes.equal p1 p2 && Bytes.equal w1 w2) then
+          ok := false
+      done;
+      !ok)
+
+(* The crash sweep under the compiled tier: same verdicts at jobs 1 and 2,
+   and the same verdicts the interpreter-tier sweep produces. *)
+let prop_sweep_tier_and_jobs_determinism =
+  QCheck.Test.make ~name:"compiled crash sweep: jobs/tier determinism"
+    ~count:20 Gen.arb_crash (fun prog ->
+      QCheck.assume (Gen.has_checker prog);
+      let sweep ~tier ~jobs =
+        Crashsim.sweep
+          ~config:{ Machine.default_config with exec = tier }
+          ~jobs prog ~setup:Gen.setup ~checker:Gen.checker_name
+          ~checker_args:[]
+      in
+      let c1 = sweep ~tier:`Compiled ~jobs:1 in
+      let c2 = sweep ~tier:`Compiled ~jobs:2 in
+      let i1 = sweep ~tier:`Interp ~jobs:1 in
+      c1 = c2 && c1 = i1)
+
+(* ------------------------------------------------------------------ *)
+(* Hand-built edge cases: traps must carry identical messages, and the
+   machine state left behind must agree. *)
+
+let build_prog emit =
+  let b = Builder.create () in
+  emit b;
+  let p = Builder.program b in
+  Validate.check_exn p;
+  p
+
+let call_result t name args =
+  match Exec.call t name args with
+  | r -> Printf.sprintf "ret:%d" r
+  | exception Mem.Trap m -> Printf.sprintf "trap:%s" m
+  | exception Interp.Aborted -> "aborted"
+  | exception Interp.Out_of_fuel -> "out_of_fuel"
+
+let both_tiers prog name args =
+  let run tier =
+    let config = { Machine.default_config with exec = tier } in
+    let t = Interp.create config prog in
+    (call_result t name args, Interp.output t, Interp.steps t)
+  in
+  let a = run `Interp and b = run `Compiled in
+  Alcotest.(check (triple string (list int) int)) "tier parity" a b;
+  a
+
+let test_trap_messages () =
+  let p =
+    build_prog (fun b ->
+        ignore
+          (Builder.func b "d" [ "x" ] ~body:(fun fb ->
+               Builder.ret fb (Builder.div fb (i 10) (v "x"))));
+        ignore
+          (Builder.func b "r" [ "x" ] ~body:(fun fb ->
+               Builder.ret fb (Builder.rem fb (i 10) (v "x"))));
+        ignore
+          (Builder.func b "sh" [ "x"; "k" ] ~body:(fun fb ->
+               Builder.ret fb (Builder.shl fb (v "x") (v "k")))))
+  in
+  let msg, _, _ = both_tiers p "d" [ 0 ] in
+  Alcotest.(check string) "div msg" "trap:division by zero" msg;
+  let msg, _, _ = both_tiers p "r" [ 0 ] in
+  Alcotest.(check string) "rem msg" "trap:remainder by zero" msg;
+  (* shift amounts mask to [land 62] in both tiers *)
+  let r, _, _ = both_tiers p "sh" [ 1; 65 ] in
+  Alcotest.(check string) "shift mask"
+    (Printf.sprintf "ret:%d" (1 lsl (65 land 62)))
+    r;
+  let r, _, _ = both_tiers p "sh" [ 3; 62 ] in
+  Alcotest.(check string) "shift 62" (Printf.sprintf "ret:%d" (3 lsl 62)) r
+
+let test_arity_and_undefined () =
+  let p =
+    build_prog (fun b ->
+        ignore
+          (Builder.func b "f" [ "x" ] ~body:(fun fb -> Builder.ret fb (v "x"))))
+  in
+  let msg, _, _ = both_tiers p "f" [ 1; 2 ] in
+  Alcotest.(check string) "arity msg"
+    "trap:@f called with 2 arguments (expects 1)" msg;
+  let run tier =
+    let config = { Machine.default_config with exec = tier } in
+    let t = Interp.create config p in
+    call_result t "nope" []
+  in
+  Alcotest.(check string) "undefined parity" (run `Interp) (run `Compiled)
+
+let test_abort_and_wild_access () =
+  let p =
+    build_prog (fun b ->
+        ignore
+          (Builder.func b "boom" [] ~body:(fun fb ->
+               Builder.call_void fb "abort" [];
+               Builder.ret fb (i 0)));
+        ignore
+          (Builder.func b "wild" [] ~body:(fun fb ->
+               Builder.ret fb (Builder.load fb (i 0x9999_9999) ~size:8)));
+        ignore
+          (Builder.func b "null" [] ~body:(fun fb ->
+               Builder.store fb ~addr:(i 8) ~size:8 (i 1);
+               Builder.ret fb (i 0))))
+  in
+  ignore (both_tiers p "boom" []);
+  ignore (both_tiers p "wild" []);
+  ignore (both_tiers p "null" [])
+
+let test_tier_of_string () =
+  Alcotest.(check bool) "interp" true (Exec.tier_of_string "interp" = Ok `Interp);
+  Alcotest.(check bool) "compiled" true
+    (Exec.tier_of_string "compiled" = Ok `Compiled);
+  (match Exec.tier_of_string "jit" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected error");
+  Alcotest.(check string) "round trip" "compiled"
+    (Exec.tier_to_string `Compiled);
+  Alcotest.(check string) "default tier" "compiled"
+    (Exec.tier_to_string Machine.default_config.exec)
+
+(* A compiled machine accumulates across host calls exactly like the
+   interpreter (persistency state, trace, seq numbers span calls). *)
+let test_accumulation_across_calls () =
+  let prog = Gen.random_mixed (Random.State.make [| 42 |]) in
+  let run tier =
+    let config = { Machine.default_config with exec = tier } in
+    let t = Interp.create config prog in
+    ignore (Exec.call t "main" []);
+    ignore (Exec.call t "main" []);
+    Interp.exit_check t;
+    ( List.map Trace.to_line (Interp.trace t),
+      List.map Report.bug_to_string (Interp.raw_bugs t),
+      Interp.output t )
+  in
+  let ti, bi, oi = run `Interp and tc, bc, oc = run `Compiled in
+  Alcotest.(check (list string)) "trace" ti tc;
+  Alcotest.(check (list string)) "raw bugs" bi bc;
+  Alcotest.(check (list int)) "output" oi oc
+
+let suite =
+  [
+    Alcotest.test_case "trap message parity" `Quick test_trap_messages;
+    Alcotest.test_case "arity/undefined parity" `Quick test_arity_and_undefined;
+    Alcotest.test_case "abort/wild/null parity" `Quick
+      test_abort_and_wild_access;
+    Alcotest.test_case "tier of/to string" `Quick test_tier_of_string;
+    Alcotest.test_case "accumulation across calls" `Quick
+      test_accumulation_across_calls;
+    QCheck_alcotest.to_alcotest prop_parity_full;
+    QCheck_alcotest.to_alcotest prop_parity_lean;
+    QCheck_alcotest.to_alcotest prop_parity_crash_family;
+    QCheck_alcotest.to_alcotest prop_parity_out_of_fuel;
+    QCheck_alcotest.to_alcotest prop_parity_crash_images;
+    QCheck_alcotest.to_alcotest prop_sweep_tier_and_jobs_determinism;
+  ]
