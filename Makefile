@@ -1,6 +1,6 @@
 .PHONY: all build check test bench bench-static bench-par bench-crash \
-	bench-json bench-fuzz bench-serve bench-exec fuzz-smoke serve-smoke \
-	trace-demo clean fmt
+	bench-json bench-fuzz bench-serve bench-exec bench-sim fuzz-smoke \
+	serve-smoke sim-smoke trace-demo clean fmt
 
 all: build
 
@@ -57,6 +57,28 @@ serve-smoke:
 	HIPPO_JOBS=2 dune exec bin/hippocrates_cli.exe -- serve --inproc \
 	  --exec compiled --smoke --seed 42 --records 2000 --ops 3000 \
 	  --workers 4 --jobs 2
+
+# Fault-injecting scenario fleets: scenarios/s per mode with the
+# digest-identity cross-check at the benchmark's jobs width vs serial,
+# machine-readable results at the repo root (CI artifact).
+bench-sim:
+	dune exec bench/main.exe -- table_sim --seed 42 --json BENCH_pr8.json
+
+# Deterministic simulation smoke across both execution tiers: standard
+# mode on the hand-hardened redis (must be clean, 0 exit) and chaos on
+# P-CLHT's buggy manual port (must detect, so the exit code is
+# inverted); both fleets run at two domains with reproducers saved
+# under sim-smoke/.
+sim-smoke:
+	HIPPO_JOBS=2 dune exec bin/hippocrates_cli.exe -- sim --app redis \
+	  --variant manual --mode standard --exec compiled --smoke --seed 42 \
+	  --jobs 2 --out sim-smoke
+	HIPPO_JOBS=2 dune exec bin/hippocrates_cli.exe -- sim --app redis \
+	  --variant manual --mode standard --exec interp --smoke --seed 42 \
+	  --jobs 2 --out sim-smoke
+	! HIPPO_JOBS=2 dune exec bin/hippocrates_cli.exe -- sim --app pclht \
+	  --variant manual --mode chaos --exec compiled --smoke --seed 42 \
+	  --jobs 2 --out sim-smoke
 
 # Deterministic 60-second-class fuzz smoke: fixed seed and exec budget,
 # exits non-zero on any oracle violation, saves corpus + shrunk

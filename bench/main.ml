@@ -34,6 +34,10 @@
                                       and fuzz-smoke workloads (wall-clock
                                       ops/s, cross-tier witness check;
                                       --exec-ops sets the YCSB op count)
+     bench/main.exe table_sim       — fault-injecting scenario fleets:
+                                      scenarios/s per mode, crash and
+                                      violation counts, digest identity
+                                      across jobs widths
      bench/main.exe micro           — bechamel micro-benchmarks
 
    `--jobs N` sets the domain budget for every corpus sweep (default:
@@ -1100,6 +1104,110 @@ let table_exec () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* scenario simulator: fleet throughput per fault mode, plus the
+   determinism cross-check (a fleet's digest must be byte-identical at
+   the benchmark's jobs width and serially) *)
+
+module Sim = Hippo_sim.Harness
+
+let table_sim () =
+  section
+    (Fmt.str "sim — fault-injecting scenario fleets (seed %d, jobs %d)"
+       !seed !jobs);
+  let scenarios = 8 and ops = 60 in
+  let base mode kind variant =
+    {
+      Sim.default_config with
+      Sim.kind;
+      variant;
+      mode;
+      seed = !seed;
+      scenarios;
+      ops;
+      keyspace = 24;
+      nbuckets = 16;
+      jobs = !jobs;
+    }
+  in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let row (label, cfg) =
+    match timed (fun () -> Sim.run cfg) with
+    | Error e, _ -> Fmt.failwith "table_sim (%s): %s" label e
+    | Ok r, wall ->
+        let serial =
+          match Sim.run { cfg with Sim.jobs = 1 } with
+          | Ok s -> s
+          | Error e -> Fmt.failwith "table_sim (%s, serial): %s" label e
+        in
+        let det = String.equal r.Sim.digest serial.Sim.digest in
+        let scen_s = float_of_int scenarios /. wall in
+        Fmt.pr
+          "  %-22s %6.1f scen/s   crashes %3d   violations %3d   \
+           digest %s   jobs-identical: %s@."
+          label scen_s r.Sim.crashes
+          (List.length r.Sim.violations)
+          (String.sub r.Sim.digest 0 8)
+          (if det then "yes" else "NO");
+        (label, scen_s, r, det)
+  in
+  let rows =
+    List.map row
+      [
+        ("redis/manual quick", base Sim.Quick App.Redis App.Manual);
+        ("redis/manual standard", base Sim.Standard App.Redis App.Manual);
+        ("redis/manual chaos", base Sim.Chaos App.Redis App.Manual);
+        ("pclht/manual chaos", base Sim.Chaos App.Pclht App.Manual);
+      ]
+  in
+  let violations_of label =
+    let _, _, r, _ = List.find (fun (l, _, _, _) -> l = label) rows in
+    List.length r.Sim.violations
+  in
+  let deterministic = List.for_all (fun (_, _, _, d) -> d) rows in
+  let manual_clean =
+    violations_of "redis/manual quick" = 0
+    && violations_of "redis/manual standard" = 0
+    && violations_of "redis/manual chaos" = 0
+  in
+  let detects = violations_of "pclht/manual chaos" > 0 in
+  Fmt.pr "  every fleet digest identical at jobs %d and 1: %s@." !jobs
+    (if deterministic then "yes" else "NO");
+  Fmt.pr "  hand-hardened redis clean under every mode: %s@."
+    (if manual_clean then "yes" else "NO");
+  Fmt.pr "  chaos detects P-CLHT's injected bugs: %s@."
+    (if detects then "yes" else "NO");
+  `Assoc
+    [
+      ("seed", `Int !seed);
+      ("scenarios", `Int scenarios);
+      ("ops", `Int ops);
+      ("jobs", `Int !jobs);
+      ( "rows",
+        `List
+          (List.map
+             (fun (label, scen_s, r, det) ->
+               `Assoc
+                 [
+                   ("fleet", `String label);
+                   ("scenarios_per_s", `Float scen_s);
+                   ("crashes", `Int r.Sim.crashes);
+                   ("recoveries", `Int r.Sim.recoveries);
+                   ("torn", `Int r.Sim.torn);
+                   ("violations", `Int (List.length r.Sim.violations));
+                   ("digest", `String r.Sim.digest);
+                   ("jobs_identical", `Bool det);
+                 ])
+             rows) );
+      ("deterministic", `Bool deterministic);
+      ("manual_redis_clean", `Bool manual_clean);
+      ("chaos_detects_pclht_bugs", `Bool detects);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* --json FILE: machine-readable results (hand-rolled serializer; no
    JSON library in the toolchain). *)
 
@@ -1241,6 +1349,7 @@ let () =
           | "table_fuzz" -> add_json "table_fuzz" (table_fuzz ())
           | "table_serve" -> add_json "table_serve" (table_serve ())
           | "table_exec" -> add_json "table_exec" (table_exec ())
+          | "table_sim" -> add_json "table_sim" (table_sim ())
           | "micro" -> micro ()
           | other -> Fmt.epr "unknown experiment %S@." other)
         cmds);

@@ -861,6 +861,154 @@ let loadgen_cmd =
       $ unix_arg $ port_arg $ skip_load_flag $ seed_arg $ jobs_arg
       $ exec_arg)
 
+(* sim ---------------------------------------------------------------- *)
+
+let sim_cmd =
+  let mode_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("quick", Hippo_sim.Harness.Quick);
+               ("standard", Hippo_sim.Harness.Standard);
+               ("chaos", Hippo_sim.Harness.Chaos);
+             ])
+          Hippo_sim.Harness.Standard
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:"Fault-rate preset: $(b,quick) (fault-free shadow \
+                checking), $(b,standard) (crashes and recovery chains at \
+                the pessimistic image) or $(b,chaos) (adds torn cache \
+                lines, reordered write-back drain and deeper re-crash \
+                chains).")
+  in
+  let scenarios_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "scenarios" ] ~docv:"N"
+          ~doc:"Independent scenarios to play. Each derives its own seed \
+                substream, so the run digest is byte-identical at any \
+                $(b,--jobs).")
+  in
+  let sim_ops_arg =
+    Arg.(
+      value & opt int 120
+      & info [ "ops" ] ~docv:"N" ~doc:"Operations per scenario.")
+  in
+  let keyspace_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "keyspace" ] ~docv:"N"
+          ~doc:"Distinct keys the workload draws from.")
+  in
+  let nbuckets_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "nbuckets" ] ~docv:"N"
+          ~doc:"Hash-table buckets per session (small tables force \
+                overflow chains).")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "sim-out"
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Directory for seed-stamped reproducers of violating \
+                scenarios (created on first violation).")
+  in
+  let no_differential_flag =
+    Arg.(
+      value & flag
+      & info [ "no-differential" ]
+          ~doc:"Skip the lockstep repair-input baseline that \
+                $(b,--variant repaired) otherwise drives through the \
+                identical op and fault schedule.")
+  in
+  let smoke_flag =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"CI smoke preset: 4 scenarios of 60 ops over 24 keys; \
+                fully deterministic output for a given $(b,--seed) at any \
+                $(b,--jobs) and either $(b,--exec) tier.")
+  in
+  let run app variant mode scenarios ops keyspace nbuckets out
+      no_differential smoke seed jobs exec =
+    let scenarios, ops, keyspace =
+      if smoke then (4, 60, 24) else (scenarios, ops, keyspace)
+    in
+    let cfg =
+      {
+        Hippo_sim.Harness.kind = app;
+        variant;
+        mode;
+        exec;
+        seed;
+        scenarios;
+        ops;
+        keyspace;
+        nbuckets;
+        jobs = max 1 jobs;
+        differential = not no_differential;
+      }
+    in
+    Fmt.pr "sim: %s/%s mode=%s seed=%d scenarios=%d ops=%d exec=%s@."
+      (Hippo_apps.App.kind_to_string app)
+      (Hippo_apps.App.variant_to_string variant)
+      (Hippo_sim.Harness.mode_to_string mode)
+      seed scenarios ops (Exec.tier_to_string exec);
+    match Hippo_sim.Harness.run cfg with
+    | Error e ->
+        Fmt.epr "error: %s@." e;
+        1
+    | Ok r ->
+        Fmt.pr "crashes: %d, recoveries: %d, reordered: %d, torn: %d@."
+          r.Hippo_sim.Harness.crashes r.Hippo_sim.Harness.recoveries
+          r.Hippo_sim.Harness.reordered r.Hippo_sim.Harness.torn;
+        Fmt.pr "virtual time: %.3f ms@."
+          (r.Hippo_sim.Harness.clock_ns /. 1e6);
+        Fmt.pr "digest: %s@." r.Hippo_sim.Harness.digest;
+        (match r.Hippo_sim.Harness.baseline_violating with
+        | [] -> ()
+        | idx ->
+            Fmt.pr "baseline violations in scenarios: %a@."
+              Fmt.(list ~sep:(any ",") int)
+              idx);
+        let violating = r.Hippo_sim.Harness.violating in
+        if violating = [] then begin
+          Fmt.pr "sim: OK (0 violations)@.";
+          0
+        end
+        else begin
+          Fmt.pr "violations: %d in scenarios: %a@."
+            (List.length r.Hippo_sim.Harness.violations)
+            Fmt.(list ~sep:(any ",") int)
+            violating;
+          List.iteri
+            (fun i (v : Hippo_sim.Scenario.violation) ->
+              if i < 5 then
+                Fmt.pr "  step %d %s: %s@." v.Hippo_sim.Scenario.step
+                  v.Hippo_sim.Scenario.kind v.Hippo_sim.Scenario.detail)
+            r.Hippo_sim.Harness.violations;
+          let paths = Hippo_sim.Harness.save_reproducers ~dir:out cfg r in
+          List.iter (fun p -> Fmt.pr "reproducer: %s@." p) paths;
+          Fmt.pr "replay: %s@." (Hippo_sim.Harness.replay_cmdline cfg);
+          Fmt.pr "sim: FAIL@.";
+          1
+        end
+  in
+  Cmd.v
+    (Cmd.info "sim" ~exits
+       ~doc:"Deterministic fault-injecting scenario simulation of the PM \
+             applications: seeded workloads, crashes at arbitrary crash \
+             points, torn cache lines, reordered write-back drain and \
+             recovery-then-re-crash chains, judged against a shadow state \
+             and the apps' recovery invariants. Violations emit a \
+             seed-stamped reproducer.")
+    Term.(
+      const run $ app_arg $ variant_arg $ mode_arg $ scenarios_arg
+      $ sim_ops_arg $ keyspace_arg $ nbuckets_arg $ out_arg
+      $ no_differential_flag $ smoke_flag $ seed_arg $ jobs_arg $ exec_arg)
+
 (* corpus ------------------------------------------------------------ *)
 
 let corpus_cmd =
@@ -895,5 +1043,6 @@ let () =
             fuzz_cmd;
             serve_cmd;
             loadgen_cmd;
+            sim_cmd;
             corpus_cmd;
           ]))

@@ -57,6 +57,13 @@ type t = {
   count : unit -> int;
   check : unit -> bool;  (** the app's own recovery invariant *)
   cost_ns : unit -> float;  (** simulated ns accumulated so far *)
+  echo : string -> string;
+      (** what [read] answers for a stored value: identity for Redis,
+          the FNV word image for P-CLHT *)
+  reopen : pm_image:Bytes.t -> (t, string) result;
+      (** restart the app over a crash image of its PM pool: a fresh
+          interpreter runs the app's recovery path (no initialization),
+          same program and sizing as this adapter *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -93,8 +100,14 @@ let program kind variant : (Program.t, string) result =
 (* ------------------------------------------------------------------ *)
 (* Adapters *)
 
-let redis_adapter ~name ~nbuckets config prog : t =
-  let s = Redis_mini.start ~config ~nbuckets prog in
+let rec redis_adapter ~name ~nbuckets config prog ?pm_image () : t =
+  let s =
+    match pm_image with
+    | None -> Redis_mini.start ~config ~nbuckets prog
+    | Some (img, brk) ->
+        Redis_mini.recover_attach
+          (Interp.create ~pm_image:img ~pm_brk:brk config prog)
+  in
   let mem = Interp.mem s.Redis_mini.interp in
   let put_key key =
     if String.length key = 0 || String.length key > Redis_mini.key_cap then
@@ -135,6 +148,13 @@ let redis_adapter ~name ~nbuckets config prog : t =
     count = (fun () -> Exec.call s.Redis_mini.interp "cmd_count" []);
     check = (fun () -> Exec.call s.Redis_mini.interp "cmd_check" [] <> 0);
     cost_ns = (fun () -> Interp.cost_ns s.Redis_mini.interp);
+    echo = (fun v -> v);
+    reopen =
+      (fun ~pm_image ->
+        (* the allocator's high-water mark restarts with the image (a
+           real PM heap persists its metadata) *)
+        let brk = mem.Mem.pm_brk in
+        Ok (redis_adapter ~name ~nbuckets config prog ~pm_image:(pm_image, brk) ()));
   }
 
 (* FNV-1a over a string, masked to a positive 62-bit word and forced
@@ -152,8 +172,14 @@ let word_of_string str =
     str;
   if !h = 0 then 1 else !h
 
-let pclht_adapter ~name ~nbuckets config prog : t =
-  let s = Pclht.start ~config ~nbuckets prog in
+let rec pclht_adapter ~name ~nbuckets config prog ?pm_image () : t =
+  let s =
+    match pm_image with
+    | None -> Pclht.start ~config ~nbuckets prog
+    | Some (img, brk) ->
+        Pclht.recover_attach
+          (Interp.create ~pm_image:img ~pm_brk:brk config prog)
+  in
   let call f args = Exec.call s.Pclht.interp f args in
   {
     name;
@@ -172,7 +198,24 @@ let pclht_adapter ~name ~nbuckets config prog : t =
     count = (fun () -> Pclht.count s);
     check = (fun () -> Pclht.check s);
     cost_ns = (fun () -> Interp.cost_ns s.Pclht.interp);
+    echo = (fun v -> string_of_int (word_of_string v));
+    reopen =
+      (fun ~pm_image ->
+        let brk = (Interp.mem s.Pclht.interp).Mem.pm_brk in
+        Ok (pclht_adapter ~name ~nbuckets config prog ~pm_image:(pm_image, brk) ()));
   }
+
+(** [wrap ?config ?nbuckets kind variant prog] wraps a fresh session of an
+    already-built program — the simulation harness builds one (possibly
+    repaired) program and wraps it once per scenario. *)
+let wrap ?(config = { Interp.default_config with Interp.trace = false })
+    ?(nbuckets = 1024) kind variant prog : t =
+  let name =
+    Fmt.str "%s/%s" (kind_to_string kind) (variant_to_string variant)
+  in
+  match kind with
+  | Redis -> redis_adapter ~name ~nbuckets config prog ()
+  | Pclht -> pclht_adapter ~name ~nbuckets config prog ()
 
 (** [make ?config ?nbuckets kind variant] builds the variant program and
     wraps a fresh session. The default config suits small smoke runs;
@@ -188,5 +231,5 @@ let make ?(config = { Interp.default_config with Interp.trace = false })
   | Error _ as e -> e
   | Ok prog -> (
       match kind with
-      | Redis -> Ok (redis_adapter ~name ~nbuckets config prog)
-      | Pclht -> Ok (pclht_adapter ~name ~nbuckets config prog))
+      | Redis -> Ok (redis_adapter ~name ~nbuckets config prog ())
+      | Pclht -> Ok (pclht_adapter ~name ~nbuckets config prog ()))

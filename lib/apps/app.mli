@@ -42,11 +42,29 @@ type t = {
   count : unit -> int;
   check : unit -> bool;  (** the app's own recovery invariant *)
   cost_ns : unit -> float;  (** simulated ns accumulated so far *)
+  echo : string -> string;
+      (** what [read] answers for a stored value: identity for Redis,
+          the FNV word image for P-CLHT *)
+  reopen : pm_image:Bytes.t -> (t, string) result;
+      (** restart the app over a crash image of its PM pool: a fresh
+          interpreter runs the app's recovery path (no initialization),
+          same program and sizing as this adapter *)
 }
+
+(** The FNV-1a word image P-CLHT stores for a string key or value
+    (deterministic, nonzero) — exposed so differential tests can replay
+    an adapter-level op stream as raw [clht_*] calls. *)
+val word_of_string : string -> int
 
 (** Build the program for an (app, variant) pair. [Repaired] runs the
     full repair pipeline and fails if verification does. *)
 val program : kind -> variant -> (Program.t, string) result
+
+(** Wrap a fresh session of an already-built program (see {!program}) —
+    callers that open many sessions of one variant build it once. *)
+val wrap :
+  ?config:Interp.config -> ?nbuckets:int -> kind -> variant ->
+  Hippo_pmir.Program.t -> t
 
 (** [make ?config ?nbuckets kind variant] builds the variant program and
     wraps a fresh interpreter session. The default config suits small

@@ -217,6 +217,20 @@ let start ?(config = { Interp.default_config with Interp.trace = false })
     ?nbuckets prog : session =
   attach ?nbuckets (Interp.create config prog)
 
+(** [recover_attach interp] rebinds the table root on an interpreter
+    created over a crash image: [clht_recover_check] re-derives the
+    header from [pm_base] (the pool's first allocation) and validates
+    it; the verdict is discarded here — callers judge consistency with
+    {!check}. *)
+let recover_attach interp : session =
+  ignore (Exec.call interp "clht_recover_check" []);
+  let hdr =
+    Mem.load (Interp.mem interp)
+      ~addr:(Interp.global_addr interp "g_clht")
+      ~size:8
+  in
+  { interp; hdr_addr = hdr }
+
 let op_insert s ~k ~version =
   ignore (Exec.call s.interp "clht_put" [ key_of k; value_of ~k ~version ])
 

@@ -32,6 +32,10 @@ val value_of : k:int -> version:int -> int
 val attach : ?nbuckets:int -> Interp.t -> session
 
 val start : ?config:Interp.config -> ?nbuckets:int -> Program.t -> session
+
+(** Rebind the table root on an interpreter created over a crash image
+    ([clht_recover_check] re-derives the header from [pm_base]). *)
+val recover_attach : Interp.t -> session
 val op_insert : session -> k:int -> version:int -> unit
 
 (** Returns the stored value word, or 0 when absent. *)

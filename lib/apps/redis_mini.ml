@@ -358,6 +358,38 @@ let start ?(config = { Interp.default_config with Interp.trace = false })
     ?nbuckets prog : session =
   attach ?nbuckets (Interp.create config prog)
 
+(** [recover_attach interp] rebinds the server roots on an interpreter
+    that was created over a crash image ([Interp.create ~pm_image]
+    [~pm_brk]). Redis recovery is pure root recomputation — the dict
+    header is the pool's first (cache-line-aligned) allocation and the
+    bucket array follows it — so it runs host-side: a PMIR recovery
+    function would add malloc and call sites to the program and perturb
+    the whole-program alias analysis (and with it the repair's flush
+    placement) in every build variant. The volatile connection buffers
+    are reallocated fresh; nothing durable is written, so the image
+    under recovery is exactly what the crash preserved. Consistency is
+    judged by the caller ({!session} commands, e.g. [cmd_check]). *)
+let recover_attach interp : session =
+  let mem = Interp.mem interp in
+  let g name = Interp.global_addr interp name in
+  let put name value = Mem.store mem ~addr:(g name) ~size:8 value in
+  let hdr = Layout.pm_base in
+  put "g_hdr" hdr;
+  let key_buf = Mem.alloc_vol mem 32 in
+  let val_buf = Mem.alloc_vol mem 128 in
+  let reply_buf = Mem.alloc_vol mem 128 in
+  put "g_key" key_buf;
+  put "g_val" val_buf;
+  put "g_reply" reply_buf;
+  put "g_stage" (Mem.alloc_vol mem 128);
+  (* Manual's undo log is the allocation right after the bucket array;
+     its address is recomputable from the persisted bucket count
+     (pm_alloc rounds to cache lines). The flush-free build never reads
+     [g_txlog], so the unconditional store is harmless there. *)
+  let nb = Mem.load mem ~addr:(hdr + hdr_nbuckets) ~size:8 in
+  put "g_txlog" (hdr + 64 + (((nb * 8) + 63) land lnot 63));
+  { interp; key_buf; val_buf; reply_buf; g_klen = g "g_klen"; g_vlen = g "g_vlen" }
+
 let set_key s k =
   let key = Hippo_ycsb.Workload.key_bytes k in
   let mem = Interp.mem s.interp in

@@ -40,6 +40,14 @@ val attach : ?nbuckets:int -> Interp.t -> session
 
 val start : ?config:Interp.config -> ?nbuckets:int -> Program.t -> session
 
+(** Rebind the server roots on an interpreter created over a crash image
+    ([Interp.create ~pm_image ~pm_brk]). Recovery is host-side root
+    recomputation (the header is the pool's first allocation) plus fresh
+    volatile connection buffers; nothing durable is written and the
+    program itself is untouched, so repair analysis sees no extra call
+    sites. *)
+val recover_attach : Interp.t -> session
+
 val set_key : session -> int -> unit
 val set_value : session -> k:int -> version:int -> unit
 val op_insert : session -> k:int -> version:int -> unit

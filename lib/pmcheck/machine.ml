@@ -74,6 +74,12 @@ type t = {
   mutable bugs_rev : Report.bug list;
   mutable output_rev : int list;
   mutable crashes_hit : int;
+  mutable armed_crash : int option;
+      (** dynamic fault injection: stop when [crashes_hit] reaches this
+          absolute count, like [cfg.stop_at_crash] but re-armable on a
+          live machine (the simulation harness injects crashes mid-run
+          without rebuilding the session; tier-uniform because both
+          dispatch loops share {!record_crash_point}) *)
   mutable crash_hook : (unit -> unit) option;
       (** fired at every explicit crash point (the single-pass sweep's
           image-capture callback) *)
@@ -81,13 +87,13 @@ type t = {
   stats : Sitestats.t;  (** per-site pointer-class observations *)
 }
 
-let create ?pm_image (cfg : config) (prog : Program.t) : t =
+let create ?pm_image ?pm_brk (cfg : config) (prog : Program.t) : t =
   let funcs = Program.funcs prog in
   let fidx = Hashtbl.create 64 in
   List.iteri (fun i f -> Hashtbl.add fidx (Func.name f) i) funcs;
   let mem =
     Mem.create ~vol_size:cfg.vol_size ~stack_size:cfg.stack_size
-      ~global_size:cfg.global_size ~pm_size:cfg.pm_size ?pm_image
+      ~global_size:cfg.global_size ~pm_size:cfg.pm_size ?pm_image ?pm_brk
       ~track_images:cfg.track_images (Program.globals prog)
   in
   let global_addr = Mem.global_addr mem in
@@ -110,6 +116,7 @@ let create ?pm_image (cfg : config) (prog : Program.t) : t =
     bugs_rev = [];
     output_rev = [];
     crashes_hit = 0;
+    armed_crash = None;
     crash_hook = None;
     frames = [];
     stats = Sitestats.create ();
@@ -117,6 +124,15 @@ let create ?pm_image (cfg : config) (prog : Program.t) : t =
 
 let mem t = t.mem
 let set_crash_hook t f = t.crash_hook <- Some f
+
+(** [arm_crash t ~at] schedules a {!Stopped_at_crash} at the [at]-th
+    explicit crash point (absolute, 1-based, compared against
+    {!crash_points_hit}); [disarm_crash] cancels it. Unlike
+    [cfg.stop_at_crash] this is mutable on a live machine, so a fault
+    injector can arm crash [k] for one workload call and disarm (or
+    re-arm) for the next — identically in both tiers. *)
+let arm_crash t ~at = t.armed_crash <- Some at
+let disarm_crash t = t.armed_crash <- None
 
 (** Explicit crash points passed so far — maintained whether or not the
     trace is recorded, so callers can count crash points without
@@ -149,6 +165,9 @@ let record_crash_point t ~iid ~loc =
   let bugs = Pstate.unpersisted_bugs t.ps ~crash in
   t.bugs_rev <- List.rev_append bugs t.bugs_rev;
   (match t.crash_hook with Some f -> f () | None -> ());
+  (match t.armed_crash with
+  | Some n when t.crashes_hit >= n -> raise Stopped_at_crash
+  | _ -> ());
   match t.cfg.stop_at_crash with
   | Some n when t.crashes_hit >= n -> raise Stopped_at_crash
   | _ -> ()

@@ -56,14 +56,26 @@ type t = {
   mutable bugs_rev : Report.bug list;
   mutable output_rev : int list;
   mutable crashes_hit : int;
+  mutable armed_crash : int option;
   mutable crash_hook : (unit -> unit) option;
   mutable frames : Trace.stack;  (** current call stack, innermost first *)
   stats : Sitestats.t;  (** per-site pointer-class observations *)
 }
 
-val create : ?pm_image:Bytes.t -> config -> Program.t -> t
+val create : ?pm_image:Bytes.t -> ?pm_brk:int -> config -> Program.t -> t
 val mem : t -> Mem.t
 val set_crash_hook : t -> (unit -> unit) -> unit
+
+(** [arm_crash t ~at] schedules {!Stopped_at_crash} for the [at]-th
+    explicit crash point (absolute, 1-based, against
+    {!crash_points_hit}). Unlike [cfg.stop_at_crash] it is mutable on a
+    live machine: the simulation harness arms a crash for one workload
+    call and disarms for the next, without rebuilding the session.
+    Honoured identically by both tiers (the check lives in
+    {!record_crash_point}). *)
+val arm_crash : t -> at:int -> unit
+
+val disarm_crash : t -> unit
 val crash_points_hit : t -> int
 val next_seq : t -> int
 val push_event : t -> Trace.event -> unit

@@ -35,14 +35,19 @@ type t = {
 }
 
 (** [create globals] builds a fresh memory; [?pm_image] seeds both PM
-    images (a restart from a previous durable image); [?track_images]
-    (default false) turns on image fingerprinting and snapshots. *)
+    images (a restart from a previous durable image); [?pm_brk] restores
+    the PM allocator's high-water mark alongside the image — a real PM
+    allocator persists its heap metadata, so a restarted program must
+    not re-issue addresses that are already in use (default 0: a fresh
+    pool); [?track_images] (default false) turns on image fingerprinting
+    and snapshots. *)
 val create :
   ?vol_size:int ->
   ?stack_size:int ->
   ?global_size:int ->
   ?pm_size:int ->
   ?pm_image:Bytes.t ->
+  ?pm_brk:int ->
   ?track_images:bool ->
   (string * int) list ->
   t

@@ -227,6 +227,109 @@ let unpersisted_bugs t ~(crash : Report.crash_info) : Report.bug list =
     (fun (a : Report.bug) b -> Loc.compare a.store.loc b.store.loc)
     !bugs
 
+(* ------------------------------------------------------------------ *)
+(* Fault-injection hooks (the simulation harness).
+
+   At an injected crash the harness perturbs the durable image beyond the
+   deterministic-pessimistic endpoint: it may evict a subset of in-flight
+   write-backs (reordered WPQ drain across lines) and tear dirty cache
+   lines (partial eviction at 8-byte store-atomicity granularity). Both
+   entry points below preserve the machine's physical ordering rules, so
+   no injected schedule can fabricate an impossible image. *)
+
+let dedup_by_seq records =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun r ->
+      if Hashtbl.mem seen r.seq then false
+      else begin
+        Hashtbl.add seen r.seq ();
+        true
+      end)
+    records
+
+(** Every still-dirty record, oldest store first (deterministic iteration
+    base for fault injection and tests). *)
+let dirty_records t =
+  let acc = ref [] in
+  Hashtbl.iter
+    (fun _ b -> List.iter (fun r -> if r.state = Dirty then acc := r :: !acc) !b)
+    t.lines;
+  List.sort compare_seq (dedup_by_seq !acc)
+
+(** In-flight (flushed, unfenced) records, oldest first. *)
+let pending_records t = List.sort compare_seq (dedup_by_seq t.pending)
+
+let lines_of r =
+  let lo = Layout.line_of_addr r.addr
+  and hi = Layout.line_of_addr (r.addr + r.size - 1) in
+  List.init (hi - lo + 1) (fun i -> lo + i)
+
+(** [commit_chosen t mem chosen] makes a chosen subset of the in-flight
+    write-backs durable, modelling a write-pending queue that drained
+    some entries before power was lost. Write-backs to one cache line
+    complete in store order (the PR 3 clflush-drain invariant), so the
+    chosen set is first {e closed}: picking a record drags along every
+    older pending record sharing a cache line with it, transitively.
+    Committing then proceeds oldest-first, exactly like {!fence} — an
+    injected schedule can choose {e which lines} drained, never the
+    within-line order. Returns the number of records made durable. *)
+let commit_chosen t mem chosen =
+  let pend = pending_records t in
+  let picked = Hashtbl.create 16 in
+  List.iter (fun r -> if chosen r then Hashtbl.replace picked r.seq ()) pend;
+  (* close under "older pending record sharing a cache line with a
+     picked record"; iterate to a fixpoint since dragged records widen
+     the picked line set *)
+  let share_line a b =
+    List.exists (fun l -> List.mem l (lines_of b)) (lines_of a)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun r ->
+        if
+          (not (Hashtbl.mem picked r.seq))
+          && List.exists
+               (fun r' ->
+                 Hashtbl.mem picked r'.seq
+                 && r'.seq > r.seq && share_line r r')
+               pend
+        then begin
+          Hashtbl.replace picked r.seq ();
+          changed := true
+        end)
+      pend
+  done;
+  let drained, in_flight =
+    List.partition (fun r -> Hashtbl.mem picked r.seq) t.pending
+  in
+  let drained = List.sort compare_seq (dedup_by_seq drained) in
+  List.iter
+    (fun r ->
+      commit_snapshot mem r;
+      remove_record t r)
+    drained;
+  t.pending <- in_flight;
+  List.length drained
+
+(** [tear_dirty mem r ~keep_word] partially evicts a dirty record: each
+    8-byte-aligned word of its range whose index satisfies [keep_word]
+    has its {e working} bytes copied into the durable image (stores are
+    word-atomic on the simulated machine, so tearing never splits a
+    word). The record itself stays dirty — tearing models an eviction
+    the program never observed. *)
+let tear_dirty mem (r : record) ~keep_word =
+  let lo = r.addr and hi = r.addr + r.size in
+  let w0 = lo / 8 and w1 = (hi - 1) / 8 in
+  for w = w0 to w1 do
+    if keep_word (w - w0) then begin
+      let a = max lo (w * 8) and b = min hi ((w + 1) * 8) in
+      Mem.persist_range mem ~addr:a ~size:(b - a)
+    end
+  done
+
 (** Count of records not yet durable (dirty or pending). *)
 let unpersisted_count t =
   let seen = Hashtbl.create 64 in

@@ -82,3 +82,30 @@ val unpersisted_bugs : t -> crash:Report.crash_info -> Report.bug list
 
 val unpersisted_count : t -> int
 val pending_count : t -> int
+
+(** {2 Fault-injection hooks (the simulation harness)}
+
+    Both entry points preserve the machine's physical ordering rules —
+    no injected schedule can fabricate an image real hardware could not
+    produce. *)
+
+(** Every still-dirty record, oldest store first. *)
+val dirty_records : t -> record list
+
+(** In-flight (flushed, unfenced) records, oldest first. *)
+val pending_records : t -> record list
+
+(** [commit_chosen t mem chosen] makes a chosen subset of in-flight
+    write-backs durable — a write-pending queue that drained some
+    entries before power loss. The chosen set is closed under "older
+    pending record sharing a cache line" and committed oldest-first, so
+    injected reordering can pick {e which lines} drained but can never
+    violate the per-line store-order (PR 3 clflush-drain) invariant.
+    Returns the number of records made durable. *)
+val commit_chosen : t -> Mem.t -> (record -> bool) -> int
+
+(** [tear_dirty mem r ~keep_word] partially evicts a dirty record: each
+    8-byte-aligned word [w] of its range with [keep_word w] true has its
+    working bytes copied into the durable image (8-byte store
+    atomicity). The record stays dirty. *)
+val tear_dirty : Mem.t -> record -> keep_word:(int -> bool) -> unit

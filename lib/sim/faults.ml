@@ -1,0 +1,83 @@
+(** Fault plans and injection for the scenario simulator.
+
+    Every fault decision is drawn from a deterministic PRNG substream
+    ({!Hippo_parallel.Stream}), never from app state, so a plan is a pure
+    function of [(seed, scenario, step)] — the property that lets the
+    harness drive a repaired app and its repair-input baseline through
+    byte-identical fault schedules, and lets any run be replayed from its
+    seed.
+
+    Rates are parts-per-million per decision point, after TigerBeetle's
+    VOPR convention: a mode is just a rate table, and cranking a rate is
+    how "quick" becomes "chaos". *)
+
+open Hippo_pmcheck
+
+type rates = {
+  crash_ppm : int;  (** per-op probability of a crash at/during the op *)
+  torn_ppm : int;  (** per dirty record: partial eviction at the crash *)
+  reorder_ppm : int;
+      (** per in-flight write-back: drained before power loss *)
+  recrash_ppm : int;  (** per crash: force another crash after recovery *)
+  max_chain : int;  (** bound on consecutive forced re-crashes *)
+}
+
+(** Fault-free: pure workload + shadow-state checking. *)
+let none =
+  { crash_ppm = 0; torn_ppm = 0; reorder_ppm = 0; recrash_ppm = 0;
+    max_chain = 0 }
+
+(** Crashes and recovery chains at moderate rates; the durable image is
+    the deterministic-pessimistic one (no torn lines, no reordering). *)
+let standard =
+  { crash_ppm = 30_000; torn_ppm = 0; reorder_ppm = 0;
+    recrash_ppm = 250_000; max_chain = 2 }
+
+(** High crash pressure plus image perturbation: torn cache lines and
+    partially drained write-pending queues at every crash, deeper
+    re-crash chains. *)
+let chaos =
+  { crash_ppm = 90_000; torn_ppm = 300_000; reorder_ppm = 400_000;
+    recrash_ppm = 350_000; max_chain = 3 }
+
+(* Always draw, even at rate 0: the stream advances the same number of
+   times per call site whatever the mode, so plans stay aligned when
+   rates change between runs of one seed. *)
+let hit st ppm = Random.State.int st 1_000_000 < ppm
+
+(** One op's worth of decisions, drawn up front (see module doc). *)
+type plan = {
+  crash : bool;
+  in_op_at : int;
+      (** crash at the [in_op_at]-th crash point the op passes (>= 1);
+          an op with fewer crash points crashes at its boundary *)
+  recrash : bool;  (** if this op crashed: chain another crash *)
+}
+
+let plan st rates =
+  let crash = hit st rates.crash_ppm in
+  let in_op_at = 1 + Random.State.int st 4 in
+  let recrash = hit st rates.recrash_ppm in
+  { crash; in_op_at; recrash }
+
+(** [inject st rates ps mem] perturbs the durable image at a crash,
+    beyond the deterministic-pessimistic endpoint: a random subset of
+    in-flight write-backs drains ({!Pstate.commit_chosen} — closed so
+    within-line order is preserved), then a random subset of dirty
+    records tears ({!Pstate.tear_dirty}, 8-byte store atomicity).
+    Returns [(reordered, torn)] record counts. *)
+let inject st rates ps mem =
+  let reordered =
+    if rates.reorder_ppm = 0 then 0
+    else Pstate.commit_chosen ps mem (fun _ -> hit st rates.reorder_ppm)
+  in
+  let torn = ref 0 in
+  if rates.torn_ppm > 0 then
+    List.iter
+      (fun r ->
+        if hit st rates.torn_ppm then begin
+          incr torn;
+          Pstate.tear_dirty mem r ~keep_word:(fun _ -> Random.State.bool st)
+        end)
+      (Pstate.dirty_records ps);
+  (reordered, !torn)

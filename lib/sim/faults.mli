@@ -1,0 +1,37 @@
+(** Fault plans and injection for the scenario simulator: rate tables
+    (ppm per decision point), per-op plans drawn from a deterministic
+    substream, and crash-image perturbation through the {!Pstate}
+    fault hooks. *)
+
+open Hippo_pmcheck
+
+type rates = {
+  crash_ppm : int;  (** per-op probability of a crash at/during the op *)
+  torn_ppm : int;  (** per dirty record: partial eviction at the crash *)
+  reorder_ppm : int;
+      (** per in-flight write-back: drained before power loss *)
+  recrash_ppm : int;  (** per crash: force another crash after recovery *)
+  max_chain : int;  (** bound on consecutive forced re-crashes *)
+}
+
+val none : rates
+val standard : rates
+val chaos : rates
+
+(** [hit st ppm] draws one decision. Always consumes exactly one draw,
+    even at rate 0, so call sites advance streams uniformly. *)
+val hit : Random.State.t -> int -> bool
+
+type plan = {
+  crash : bool;
+  in_op_at : int;
+      (** crash at the [in_op_at]-th crash point the op passes (>= 1);
+          an op with fewer crash points crashes at its boundary *)
+  recrash : bool;  (** if this op crashed: chain another crash *)
+}
+
+val plan : Random.State.t -> rates -> plan
+
+(** Perturb the durable image at a crash (reordered write-back drain,
+    then torn dirty records); returns [(reordered, torn)] counts. *)
+val inject : Random.State.t -> rates -> Pstate.t -> Mem.t -> int * int

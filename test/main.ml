@@ -22,5 +22,6 @@ let () =
       ("perfmodel", Test_perfmodel.suite);
       ("serve", Test_serve.suite);
       ("bugstudy", Test_bugstudy.suite);
+      ("sim", Test_sim.suite);
       ("e2e", Test_e2e.suite);
     ]

@@ -1,0 +1,55 @@
+A simulation fleet is byte-identical for a given seed at any --jobs
+width: scenarios are pure functions of (seed, index, config), executed
+over a domain pool and collected in submission order. The summary
+deliberately contains no timing and no jobs count — virtual time is the
+machine's simulated cost, identical across widths and execution tiers.
+
+  $ hippocrates sim --app redis --variant manual --mode standard --smoke --seed 42 --jobs 2
+  sim: redis/manual mode=standard seed=42 scenarios=4 ops=60 exec=compiled
+  crashes: 8, recoveries: 8, reordered: 0, torn: 0
+  virtual time: 40.158 ms
+  digest: d3c19467d633b0f396e7c4b987ce3529
+  sim: OK (0 violations)
+
+  $ hippocrates sim --app redis --variant manual --mode standard --smoke --seed 42 --jobs 1
+  sim: redis/manual mode=standard seed=42 scenarios=4 ops=60 exec=compiled
+  crashes: 8, recoveries: 8, reordered: 0, torn: 0
+  virtual time: 40.158 ms
+  digest: d3c19467d633b0f396e7c4b987ce3529
+  sim: OK (0 violations)
+
+Chaos mode on P-CLHT's buggy manual port detects the injected bugs and
+writes one seed-stamped reproducer per violating scenario, plus a
+serial replay one-liner; the process exits nonzero.
+
+  $ hippocrates sim --app pclht --variant manual --mode chaos --smoke --seed 7
+  sim: pclht/manual mode=chaos seed=7 scenarios=4 ops=60 exec=compiled
+  crashes: 40, recoveries: 40, reordered: 0, torn: 12
+  virtual time: 200.132 ms
+  digest: 7a89bf9d96fb3fd332316a2c53157223
+  violations: 31 in scenarios: 0,1,2,3
+    step 42 corrupted-value: key k04: expected 72603505657114353, got 151121382320824455
+    step 42 corrupted-value: key k14: expected 13725050206171563, got 180583412588921927
+    step 42 corrupted-value: key k15: expected 131471966398902389, got 4974855868099601
+    step 42 corrupted-value: key k16: expected 202656592562579927, got 71903036443638665
+    step 44 atomicity: key k16 is neither old (202656592562579927) nor new (139752266122358421) after recovery: 71903036443638665
+  reproducer: sim-out/sim-seed7-s000.txt
+  reproducer: sim-out/sim-seed7-s001.txt
+  reproducer: sim-out/sim-seed7-s002.txt
+  reproducer: sim-out/sim-seed7-s003.txt
+  replay: hippocrates sim --app pclht --variant manual --mode chaos --exec compiled --seed 7 --scenarios 4 --ops 60 --keyspace 24 --nbuckets 16 --jobs 1
+  sim: FAIL
+  [1]
+
+The reproducer opens with the replay recipe and the violations, then
+carries the full transcript (ops, crash points, image digests):
+
+  $ head -4 sim-out/sim-seed7-s000.txt
+  # sim reproducer: scenario 0 of seed 7
+  # replay: hippocrates sim --app pclht --variant manual --mode chaos --exec compiled --seed 7 --scenarios 4 --ops 60 --keyspace 24 --nbuckets 16 --jobs 1
+  
+  violation step=42 corrupted-value: key k04: expected 72603505657114353, got 151121382320824455
+
+
+  $ grep -c '!crash' sim-out/sim-seed7-s000.txt
+  7

@@ -142,6 +142,77 @@ let prop_digests_match_ground_truth =
            (Imghash.digest (Imghash.of_bytes (Interp.crash_image t))))
 
 (* ------------------------------------------------------------------ *)
+(* recovery-then-re-crash chains and injected torn lines — the restart
+   and image-perturbation primitives the scenario simulator drives *)
+
+module R = Hippo_apps.Redis_mini
+
+let test_recovery_then_recrash_chain () =
+  let prog = R.build R.Manual in
+  let rcfg = { cfg with Interp.pm_size = 1 lsl 13 } in
+  let s1 = R.start ~config:rcfg ~nbuckets:4 prog in
+  List.iter (fun k -> R.op_insert s1 ~k ~version:1) [ 1; 2; 3 ];
+  let crash s =
+    (Interp.crash_image s.R.interp, (Interp.mem s.R.interp).Mem.pm_brk)
+  in
+  let img1, brk1 = crash s1 in
+  Alcotest.(check bool) "allocator mark persisted" true (brk1 > 0);
+  let s2 =
+    R.recover_attach (Interp.create ~pm_image:img1 ~pm_brk:brk1 rcfg prog)
+  in
+  Alcotest.(check int) "first recovery validates" 1
+    (Interp.call s2.R.interp "cmd_check" []);
+  Alcotest.(check int) "all inserts durable" 3
+    (Interp.call s2.R.interp "cmd_count" []);
+  (* the recovered allocator must continue past the live pool *)
+  R.op_insert s2 ~k:9 ~version:1;
+  Alcotest.(check bool) "pre-crash key survives the new insert" true
+    (R.op_read s2 ~k:1 > 0);
+  (* re-crash the recovered instance: second restart of the chain *)
+  let img2, brk2 = crash s2 in
+  let s3 =
+    R.recover_attach (Interp.create ~pm_image:img2 ~pm_brk:brk2 rcfg prog)
+  in
+  Alcotest.(check int) "second recovery validates" 1
+    (Interp.call s3.R.interp "cmd_check" []);
+  Alcotest.(check int) "chain preserved every key" 4
+    (Interp.call s3.R.interp "cmd_count" []);
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Printf.sprintf "key %d readable after two restarts" k)
+        true
+        (R.op_read s3 ~k > 0))
+    [ 1; 2; 3; 9 ];
+  (* negative control — the regression this test pins: dropping the
+     allocator mark re-issues live addresses, and the next insert
+     overwrites the pool from its base *)
+  let sbad = R.recover_attach (Interp.create ~pm_image:img2 rcfg prog) in
+  let corrupted =
+    try
+      R.op_insert sbad ~k:10 ~version:1;
+      Interp.call sbad.R.interp "cmd_check" [] = 0
+    with Mem.Trap _ -> true
+  in
+  Alcotest.(check bool) "without pm_brk the pool is destroyed" true corrupted
+
+let prop_torn_dirty_digests_match_ground_truth =
+  QCheck.Test.make ~count:30
+    ~name:"torn dirty lines keep incremental digests == rescan"
+    Gen.arb_crash (fun prog ->
+      let t = Interp.create { cfg with Interp.track_images = true } prog in
+      ignore (Interp.call t "main" []);
+      let mem = Interp.mem t and ps = Interp.pstate t in
+      List.iteri
+        (fun i r ->
+          Pstate.tear_dirty mem r ~keep_word:(fun w -> (w + i) land 1 = 0))
+        (Pstate.dirty_records ps);
+      Imghash.equal_digest (Mem.durable_digest mem)
+        (Imghash.digest (Imghash.of_bytes (Interp.crash_image t)))
+      && Imghash.equal_digest (Mem.working_digest mem)
+           (Imghash.digest (Imghash.of_bytes (Mem.working_image mem))))
+
+(* ------------------------------------------------------------------ *)
 (* Verify: crash consistency of original vs repaired, shared memo *)
 
 let test_verify_crash_consistency () =
@@ -222,6 +293,9 @@ let suite =
     Alcotest.test_case "count crash points without a trace" `Quick
       test_count_crash_points_trace_free;
     QCheck_alcotest.to_alcotest prop_digests_match_ground_truth;
+    Alcotest.test_case "recovery-then-re-crash chain" `Quick
+      test_recovery_then_recrash_chain;
+    QCheck_alcotest.to_alcotest prop_torn_dirty_digests_match_ground_truth;
     Alcotest.test_case "verify crash consistency, shared memo" `Quick
       test_verify_crash_consistency;
     Alcotest.test_case "crash corpus identical across jobs" `Quick

@@ -125,6 +125,55 @@ let prop_missing_fence_only_when_pending =
       in
       fence_bugs = Pstate.pending_count ps)
 
+(* ------------------------------------------------------------------ *)
+(* fault-injection hook: commit_chosen models a partial write-pending
+   queue drain but must preserve the per-line store-order (clflush
+   drain) invariant — choosing a write-back drags every older pending
+   record of its cache line in, and commits run oldest-first *)
+
+let test_commit_chosen_closes_lines_oldest_first () =
+  let ps = Pstate.create () in
+  let m = Mem.create [] in
+  let base = Mem.alloc_pm m 256 in
+  let seq = ref 0 in
+  let store_flush addr v =
+    Mem.store m ~addr ~size:8 v;
+    ignore
+      (Pstate.store ps ~iid:(Iid.fresh ~func:"t") ~loc:Loc.none ~stack:[]
+         ~addr ~size:8 ~seq:!seq);
+    incr seq;
+    ignore
+      (Pstate.flush ps m ~iid:(Iid.fresh ~func:"t") ~kind:Instr.Clwb ~addr)
+  in
+  store_flush base 0x11 (* line 0, oldest in-flight write-back *);
+  store_flush base 0x22 (* line 0, newer write-back of the same word *);
+  store_flush (base + 64) 0x33 (* line 1, independent *);
+  let pend = Pstate.pending_records ps in
+  Alcotest.(check int) "three write-backs in flight" 3 (List.length pend);
+  Alcotest.(check int) "nothing drains when nothing is chosen" 0
+    (Pstate.commit_chosen ps m (fun _ -> false));
+  let durable addr =
+    Int64.to_int
+      (Bytes.get_int64_le (Mem.crash_image m) (addr - Layout.pm_base))
+  in
+  (* choose only the NEWER line-0 record: the older one must be dragged
+     along, and oldest-first commit leaves the newer value durable *)
+  let mid = List.nth pend 1 in
+  let drained =
+    Pstate.commit_chosen ps m (fun r -> r.Pstate.seq = mid.Pstate.seq)
+  in
+  Alcotest.(check int) "older same-line record dragged along" 2 drained;
+  Alcotest.(check int) "newest chosen value is what ends up durable" 0x22
+    (durable base);
+  Alcotest.(check int) "unchosen line did not drain" 0 (durable (base + 64));
+  Alcotest.(check int) "unchosen line still in flight" 1
+    (Pstate.pending_count ps);
+  ignore (Pstate.fence ps m ~seq:!seq);
+  Alcotest.(check int) "fence drains the remainder" 0
+    (Pstate.pending_count ps);
+  Alcotest.(check int) "line 1 durable after the fence" 0x33
+    (durable (base + 64))
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_no_pending_after_fence;
@@ -132,4 +181,6 @@ let suite =
     QCheck_alcotest.to_alcotest prop_image_changes_only_at_durability_events;
     QCheck_alcotest.to_alcotest prop_bug_counts_consistent;
     QCheck_alcotest.to_alcotest prop_missing_fence_only_when_pending;
+    Alcotest.test_case "commit_chosen closes lines, commits oldest-first"
+      `Quick test_commit_chosen_closes_lines_oldest_first;
   ]
