@@ -1,6 +1,6 @@
 .PHONY: all build check test bench bench-static bench-par bench-crash \
-	bench-json bench-fuzz bench-serve bench-exec bench-sim fuzz-smoke \
-	serve-smoke sim-smoke trace-demo clean fmt
+	bench-json bench-fuzz bench-serve bench-exec bench-sim bench-opt \
+	fuzz-smoke serve-smoke sim-smoke opt-smoke trace-demo clean fmt
 
 all: build
 
@@ -79,6 +79,20 @@ sim-smoke:
 	! HIPPO_JOBS=2 dune exec bin/hippocrates_cli.exe -- sim --app pclht \
 	  --variant manual --mode chaos --exec compiled --smoke --seed 42 \
 	  --jobs 2 --out sim-smoke
+
+# Flush/fence optimizer gauntlet: per-rule unit semantics, the
+# must-not-remove cases, corpus + both apps (redis and pclht), and the
+# do-no-harm checks — static reports identical, P-CLHT crash-sweep
+# verdicts identical at jobs 1 and 2. Fails on any verdict drift.
+opt-smoke:
+	dune exec test/main.exe -- test optimize
+
+# Optimizer savings table over every repaired corpus and app subject:
+# static flush/fence sites removed, report identity, perfmodel cost
+# deltas, crash-verdict gauntlet; machine-readable results at the repo
+# root (CI artifact).
+bench-opt:
+	dune exec bench/main.exe -- table_opt --json BENCH_pr9.json
 
 # Deterministic 60-second-class fuzz smoke: fixed seed and exec budget,
 # exits non-zero on any oracle violation, saves corpus + shrunk

@@ -29,6 +29,11 @@
                                       default sweep: --serve-records /
                                       --serve-ops default to one million);
                                       drives both apps (redis and pclht)
+     bench/main.exe table_opt       — flush/fence optimizer over every
+                                      repaired corpus and app subject:
+                                      static sites removed, report
+                                      identity, perfmodel cost deltas and
+                                      the P-CLHT crash-verdict gauntlet
      bench/main.exe table_exec      — compiled execution tier vs the
                                       reference interpreter on the YCSB
                                       and fuzz-smoke workloads (wall-clock
@@ -874,8 +879,8 @@ let serve_ops = ref 1_000_000
 let table_serve () =
   section
     (Fmt.str
-       "serve — workload A over the KV service: manual vs repaired (%d \
-        records, %d ops, 4 workers, seed %d, --jobs %d)"
+       "serve — workload A over the KV service: manual vs repaired vs \
+        optimized (%d records, %d ops, 4 workers, seed %d, --jobs %d)"
        !serve_records !serve_ops !seed !jobs);
   let module Drive = Hippo_serve.Drive in
   let module Hist = Hippo_perfmodel.Stats.Hist in
@@ -897,7 +902,7 @@ let table_serve () =
                   | Error e ->
                       Fmt.failwith "table_serve (%s): %s"
                         (App.kind_to_string kind) e)
-                [ App.Manual; App.Repaired ] ))
+                [ App.Manual; App.Repaired; App.Optimized ] ))
           apps)
   in
   (* simulated throughput (deterministic, the perfmodel number) next to
@@ -925,14 +930,30 @@ let table_serve () =
     Drive.agrees
       (List.assoc App.Manual outcomes)
       (List.assoc App.Repaired outcomes)
+    && Drive.agrees
+         (List.assoc App.Repaired outcomes)
+         (List.assoc App.Optimized outcomes)
+  in
+  (* over the whole session (load + run): the run phase alone can sit
+     within float noise of repaired when the removed fences are on the
+     insert path only *)
+  let opt_not_slower outcomes =
+    let kops (o : Drive.outcome) =
+      sim_kops (o.Drive.load_reqs + o.Drive.run_reqs)
+        (o.Drive.sim_load_ns +. o.Drive.sim_run_ns)
+    in
+    kops (List.assoc App.Optimized outcomes)
+    >= kops (List.assoc App.Repaired outcomes)
   in
   List.iter
     (fun (kind, outcomes) ->
       Fmt.pr
-        "  %s: repaired matches manual on every verdict, the final count \
-         and the store digest: %s@."
+        "  %s: repaired and optimized match manual on every verdict, the \
+         final count and the store digest: %s; optimized sim-kops >= \
+         repaired: %s@."
         (App.kind_to_string kind)
-        (if agrees_of outcomes then "yes" else "NO"))
+        (if agrees_of outcomes then "yes" else "NO")
+        (if opt_not_slower outcomes then "yes" else "NO"))
     per_app;
   let row (o : Drive.outcome) =
     `Assoc
@@ -969,10 +990,146 @@ let table_serve () =
                    ("app", `String (App.kind_to_string kind));
                    ("manual", row (List.assoc App.Manual outcomes));
                    ("repaired", row (List.assoc App.Repaired outcomes));
+                   ("optimized", row (List.assoc App.Optimized outcomes));
                    ("agrees", `Bool (agrees_of outcomes));
+                   ("opt_not_slower", `Bool (opt_not_slower outcomes));
                  ])
              per_app) );
       ("agrees_all", `Bool (List.for_all (fun (_, o) -> agrees_of o) per_app));
+    ]
+
+(* opt — the flush/fence optimizer: savings and do-no-harm ------------ *)
+
+let clht_sweep_setup =
+  [ ("clht_init", [ 4 ]) ]
+  @ List.concat_map
+      (fun k -> [ ("clht_put", [ k; k * 3 ]) ])
+      (List.init 20 (fun k -> k + 1))
+  @ [ ("clht_put", [ 3; 999 ]) ]
+
+let table_opt () =
+  section
+    (Fmt.str
+       "opt — flush/fence optimizer over repaired corpus and app subjects \
+        (--jobs %d)"
+       !jobs);
+  let module O = Hippo_engine.Optimize in
+  let module Timed = Hippo_perfmodel.Timed in
+  let sim_cost prog workload =
+    let t =
+      Interp.create
+        {
+          Interp.default_config with
+          Interp.trace = false;
+          cost = Some Cost.default;
+        }
+        prog
+    in
+    workload t;
+    Interp.cost_ns t
+  in
+  (* one row per subject: the optimizer runs over the given (already
+     repaired or manual) program; cost is the perfmodel's simulated ns
+     for the subject's own workload, before and after *)
+  let row name prog workload =
+    let o = O.run prog in
+    let cost0 = sim_cost prog workload in
+    let cost1 = sim_cost o.O.o_prog workload in
+    (name, o, cost0, cost1)
+  in
+  let corpus_rows =
+    List.map
+      (fun (c : Case.t) ->
+        let r =
+          Driver.repair ~name:c.Case.id ~workload:c.Case.workload
+            (Lazy.force c.Case.program)
+        in
+        row (c.Case.id ^ "/repaired") r.Driver.repaired c.Case.workload)
+      (Bugs.all @ Pclht.cases @ Memcached_mini.cases)
+  in
+  let app_prog kind variant =
+    match App.program kind variant with
+    | Ok p -> p
+    | Error e ->
+        Fmt.failwith "table_opt (%s/%s): %s" (App.kind_to_string kind)
+          (App.variant_to_string variant) e
+  in
+  let app_rows =
+    [
+      row "redis/manual" (app_prog App.Redis App.Manual)
+        Redis_bench.repair_workload;
+      row "redis/repaired" (app_prog App.Redis App.Repaired)
+        Redis_bench.repair_workload;
+      row "pclht/manual" (app_prog App.Pclht App.Manual) Pclht.workload;
+      row "pclht/repaired" (app_prog App.Pclht App.Repaired) Pclht.workload;
+    ]
+  in
+  let rows = corpus_rows @ app_rows in
+  Fmt.pr "  %-18s %13s %13s %8s %7s %10s %10s %7s@." "subject" "flush/fence"
+    "-> after" "removed" "static" "cost-ns" "-> after" "delta";
+  List.iter
+    (fun (name, (o : O.outcome), cost0, cost1) ->
+      Fmt.pr "  %-18s %6d/%-6d %6d/%-6d %8d %7s %10.0f %10.0f %6.1f%%@." name
+        o.O.o_before.Timed.flushes o.O.o_before.Timed.fences
+        o.O.o_after.Timed.flushes o.O.o_after.Timed.fences
+        (List.length o.O.o_removals)
+        (if o.O.o_report_equal then "equal" else "DRIFT")
+        cost0 cost1
+        (100. *. (cost1 -. cost0) /. Float.max 1. cost0))
+    rows;
+  (* dynamic do-no-harm on the flagship subject: the repaired and
+     optimized P-CLHT must give the same verdict at every crash point,
+     at both worker widths *)
+  let pclht_rep = app_prog App.Pclht App.Repaired in
+  let pclht_opt = (O.run pclht_rep).O.o_prog in
+  let verdicts =
+    List.map
+      (fun jobs ->
+        ( jobs,
+          O.crash_verdicts_identical ~jobs ~setup:clht_sweep_setup
+            ~checker:"clht_recover_check" ~checker_args:[] pclht_rep pclht_opt
+        ))
+      [ 1; 2 ]
+  in
+  List.iter
+    (fun (jobs, ok) ->
+      Fmt.pr "  pclht crash-sweep verdicts identical at jobs %d: %s@." jobs
+        (if ok then "yes" else "NO"))
+    verdicts;
+  let total_removed =
+    List.fold_left
+      (fun acc (_, o, _, _) -> acc + List.length o.O.o_removals)
+      0 rows
+  in
+  Fmt.pr "  total removed across %d subjects: %d@." (List.length rows)
+    total_removed;
+  `Assoc
+    [
+      ( "rows",
+        `List
+          (List.map
+             (fun (name, (o : O.outcome), cost0, cost1) ->
+               `Assoc
+                 [
+                   ("subject", `String name);
+                   ("flushes_before", `Int o.O.o_before.Timed.flushes);
+                   ("fences_before", `Int o.O.o_before.Timed.fences);
+                   ("flushes_after", `Int o.O.o_after.Timed.flushes);
+                   ("fences_after", `Int o.O.o_after.Timed.fences);
+                   ("removed", `Int (List.length o.O.o_removals));
+                   ("report_equal", `Bool o.O.o_report_equal);
+                   ("reverted", `Bool o.O.o_reverted);
+                   ("cost_ns_before", `Float cost0);
+                   ("cost_ns_after", `Float cost1);
+                 ])
+             rows) );
+      ( "pclht_crash_verdicts_identical",
+        `Assoc
+          (List.map (fun (j, ok) -> (Fmt.str "jobs%d" j, `Bool ok)) verdicts)
+      );
+      ("total_removed", `Int total_removed);
+      ( "all_report_equal",
+        `Bool (List.for_all (fun (_, o, _, _) -> o.O.o_report_equal) rows) );
     ]
 
 (* exec — the compiled tier vs the reference interpreter -------------- *)
@@ -1348,6 +1505,7 @@ let () =
           | "table_crash" -> add_json "table_crash" (table_crash ())
           | "table_fuzz" -> add_json "table_fuzz" (table_fuzz ())
           | "table_serve" -> add_json "table_serve" (table_serve ())
+          | "table_opt" -> add_json "table_opt" (table_opt ())
           | "table_exec" -> add_json "table_exec" (table_exec ())
           | "table_sim" -> add_json "table_sim" (table_sim ())
           | "micro" -> micro ()

@@ -418,13 +418,25 @@ let fix_cmd =
                 workload-free analyzer; verification is static too) or \
                 $(b,both) (union of the two). Ignored with $(b,--trace).")
   in
+  let optimize_flag =
+    Arg.(
+      value & flag
+      & info [ "optimize" ]
+          ~doc:"After repair, run the Bent\xc5\x8d-style flush/fence \
+                optimizer over the repaired program: deletions must be \
+                provably redundant on every path, and the whole rewrite \
+                is reverted if the static bug reports change at all.")
+  in
   let run prog_path entry args trace_in output no_hoist oracle_choice format
-      portable diff detector trace_out jobs exec =
+      portable diff detector optimize trace_out jobs exec =
     let ( let* ) = Result.bind in
     let result =
       let* prog = read_program prog_path in
       let* () = validate_or_die prog in
       let* args = parse_args args in
+      Fmt.epr "input:    %a@."
+        Hippo_perfmodel.Timed.pp_static_counts
+        (Hippo_perfmodel.Timed.static_counts prog);
       let collected = ref [] in
       let trace e = collected := e :: !collected in
       let options =
@@ -491,7 +503,22 @@ let fix_cmd =
             else
               Ok (r.Driver.repaired, Fmt.str "%a" Driver.pp_summary r)
       in
+      Fmt.epr "repaired: %a@."
+        Hippo_perfmodel.Timed.pp_static_counts
+        (Hippo_perfmodel.Timed.static_counts repaired);
       Fmt.epr "%s@." report;
+      let repaired =
+        if not optimize then repaired
+        else begin
+          let r =
+            Driver.optimize
+              ?entries:(static_entries repaired ~entry)
+              ~name:prog_path repaired
+          in
+          Fmt.epr "%a@." Driver.pp_opt_summary r;
+          r.Driver.t_outcome.Hippo_engine.Optimize.o_prog
+        end
+      in
       (match trace_out with
       | Some path ->
           let events = List.rev !collected in
@@ -521,7 +548,64 @@ let fix_cmd =
     Term.(
       const run $ prog_arg $ entry_arg $ entry_args_arg $ trace_in $ output
       $ no_hoist $ oracle_choice $ format_arg $ portable_flag $ diff_flag
-      $ detector_arg $ trace_out $ jobs_arg $ exec_arg)
+      $ detector_arg $ optimize_flag $ trace_out $ jobs_arg $ exec_arg)
+
+(* optimize ---------------------------------------------------------- *)
+
+let optimize_cmd =
+  let output =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the optimized program to $(docv) (default: stdout).")
+  in
+  let removals_flag =
+    Arg.(
+      value & flag
+      & info [ "removals" ]
+          ~doc:"List every deleted instruction (function, location, rule) \
+                on stderr.")
+  in
+  let run prog_path entry output removals =
+    let ( let* ) = Result.bind in
+    let result =
+      let* prog = read_program prog_path in
+      let* () = validate_or_die prog in
+      Fmt.epr "input:    %a@."
+        Hippo_perfmodel.Timed.pp_static_counts
+        (Hippo_perfmodel.Timed.static_counts prog);
+      let r =
+        Driver.optimize
+          ?entries:(static_entries prog ~entry)
+          ~name:prog_path prog
+      in
+      Fmt.epr "%a@." Driver.pp_opt_summary r;
+      if removals then
+        List.iter
+          (fun rm -> Fmt.epr "  %a@." Hippo_engine.Optimize.pp_removal rm)
+          r.Driver.t_outcome.Hippo_engine.Optimize.o_removals;
+      let text =
+        Printer.to_string r.Driver.t_outcome.Hippo_engine.Optimize.o_prog
+      in
+      (match output with
+      | Some path ->
+          let oc = open_out path in
+          output_string oc text;
+          close_out oc
+      | None -> print_string text);
+      Ok (if r.Driver.t_outcome.Hippo_engine.Optimize.o_reverted then 1 else 0)
+    in
+    match result with
+    | Ok code -> code
+    | Error e ->
+        Fmt.epr "error: %s@." e;
+        1
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~exits
+       ~doc:"Remove provably-redundant flushes and fences (Bent\xc5\x8d-style), \
+             reverting wholesale if the static bug reports change at all.")
+    Term.(const run $ prog_arg $ entry_arg $ output $ removals_flag)
 
 (* run --------------------------------------------------------------- *)
 
@@ -643,13 +727,15 @@ let variant_arg =
              ("flush-free", Hippo_apps.App.Flush_free);
              ("manual", Hippo_apps.App.Manual);
              ("repaired", Hippo_apps.App.Repaired);
+             ("optimized", Hippo_apps.App.Optimized);
            ])
         Hippo_apps.App.Manual
     & info [ "variant" ] ~docv:"VARIANT"
         ~doc:"Build to serve: $(b,flush-free) (the repair input; redis \
-              only), $(b,manual) (the hand-written baseline) or \
+              only), $(b,manual) (the hand-written baseline), \
               $(b,repaired) (the Hippocrates pipeline output, verified \
-              before serving).")
+              before serving) or $(b,optimized) (the repaired build \
+              after the flush/fence optimizer).")
 
 let workload_arg =
   Arg.(
@@ -1039,6 +1125,7 @@ let () =
           [
             check_cmd;
             fix_cmd;
+            optimize_cmd;
             run_cmd;
             fuzz_cmd;
             serve_cmd;

@@ -31,17 +31,19 @@ let kind_of_string = function
   | "pclht" -> Some Pclht
   | _ -> None
 
-type variant = Flush_free | Manual | Repaired
+type variant = Flush_free | Manual | Repaired | Optimized
 
 let variant_to_string = function
   | Flush_free -> "flush-free"
   | Manual -> "manual"
   | Repaired -> "repaired"
+  | Optimized -> "optimized"
 
 let variant_of_string = function
   | "flush-free" -> Some Flush_free
   | "manual" -> Some Manual
   | "repaired" -> Some Repaired
+  | "optimized" -> Some Optimized
   | _ -> None
 
 type read_result = Found of string | Absent
@@ -79,8 +81,11 @@ let repair_or_error ~name ~workload prog =
 
 (** Build the program for an (app, variant) pair. [Repaired] runs the
     full repair pipeline (dynamic detector, hoisting on) and fails if
-    verification does. *)
-let program kind variant : (Program.t, string) result =
+    verification does. [Optimized] runs the flush/fence optimizer over
+    the repaired program; the optimizer's own do-no-harm gate (identical
+    static reports, else wholesale revert) has already run by the time
+    the program is returned. *)
+let rec program kind variant : (Program.t, string) result =
   match (kind, variant) with
   | Redis, Flush_free -> Ok (Redis_mini.build Redis_mini.Flush_free)
   | Redis, Manual -> Ok (Redis_mini.build Redis_mini.Manual)
@@ -96,6 +101,16 @@ let program kind variant : (Program.t, string) result =
   | Pclht, Repaired ->
       repair_or_error ~name:"pclht-serve" ~workload:Pclht.workload
         (Pclht.build ())
+  | (Redis | Pclht), Optimized -> (
+      match program kind Repaired with
+      | Error e -> Error e
+      | Ok repaired ->
+          let r =
+            Driver.optimize
+              ~name:(kind_to_string kind ^ "-optimize")
+              repaired
+          in
+          Ok r.Driver.t_outcome.Hippo_engine.Optimize.o_prog)
 
 (* ------------------------------------------------------------------ *)
 (* Adapters *)

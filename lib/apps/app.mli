@@ -21,8 +21,11 @@ val kind_of_string : string -> kind option
       bugs are injected, not stripped);
     - [Manual]: the hand-written baseline;
     - [Repaired]: the {!Hippo_core.Driver} pipeline output, verified
-      effective and harm-free before serving. *)
-type variant = Flush_free | Manual | Repaired
+      effective and harm-free before serving;
+    - [Optimized]: the flush/fence optimizer run over [Repaired]
+      ({!Hippo_core.Driver.optimize}) — redundant persistence
+      operations removed under the optimizer's do-no-harm gate. *)
+type variant = Flush_free | Manual | Repaired | Optimized
 
 val variant_to_string : variant -> string
 val variant_of_string : string -> variant option

@@ -167,3 +167,30 @@ let pp_summary ppf r =
     *. float_of_int (r.output_instrs - r.input_instrs)
     /. float_of_int (max 1 r.input_instrs))
     Verify.pp r.verification
+
+(* ------------------------------------------------------------------ *)
+(* Flush/fence optimizer (Bentō-style: repair must do no harm to speed) *)
+
+type opt_result = {
+  t_target : string;
+  t_outcome : E.Optimize.outcome;
+  t_time : float;
+  t_events : E.Event.t list;
+}
+
+let optimize ?options ?entries ?cache ?trace ~name prog : opt_result =
+  let started = now () in
+  let ctx =
+    E.Engine.optimize ?options ?cache ?trace ?static_entries:entries ~name
+      prog
+  in
+  {
+    t_target = name;
+    t_outcome = Option.get ctx.E.Context.opt_outcome;
+    t_time = now () -. started;
+    t_events = E.Context.events ctx;
+  }
+
+let pp_opt_summary ppf r =
+  Fmt.pf ppf "@[<v>target: %s@,%a@]" r.t_target E.Optimize.pp_outcome
+    r.t_outcome

@@ -135,3 +135,29 @@ val repair_static :
   static_result
 
 val pp_static_summary : Format.formatter -> static_result -> unit
+
+(** Outcome of the flush/fence optimizer pipeline (opt-analyze ->
+    opt-apply -> opt-verify; see {!Hippo_engine.Optimize}). *)
+type opt_result = {
+  t_target : string;
+  t_outcome : Hippo_engine.Optimize.outcome;
+  t_time : float;
+  t_events : Hippo_engine.Event.t list;
+}
+
+(** Remove provably-redundant flushes and fences: deletions must be the
+    identity on the static checker's converged states {e and} dynamic
+    no-ops under a strict must-analysis; the rewrite is reverted
+    wholesale if the static bug reports are not byte-identical
+    afterwards. Share [?cache] with {!repair_static} over the same
+    program to run Andersen exactly once across repair and optimize. *)
+val optimize :
+  ?options:options ->
+  ?entries:string list ->
+  ?cache:Hippo_engine.Cache.t ->
+  ?trace:(Hippo_engine.Event.t -> unit) ->
+  name:string ->
+  Program.t ->
+  opt_result
+
+val pp_opt_summary : Format.formatter -> opt_result -> unit

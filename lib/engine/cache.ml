@@ -98,9 +98,28 @@ let static_check ?entries v =
       r
   | None ->
       c.computes <- c.computes + 1;
-      let r = Hippo_staticcheck.Checker.check ?entries v.entry.prog in
+      (* the points-to analysis is shared with every other consumer of
+         this version — repair, optimize and re-checks all see one run *)
+      let r =
+        Hippo_staticcheck.Checker.check ~aa:(andersen v) ?entries v.entry.prog
+      in
       v.entry.static_ <- (entries, r) :: v.entry.static_;
       r
+
+(* An observed run cannot be answered from the memo (the caller wants the
+   hook fired over the converged states), but it still reuses the cached
+   Andersen result and feeds the static memo so a later plain
+   [static_check] with the same entries is a hit. *)
+let static_observed ?entries v ~observe =
+  let c = counter v.cache "static" in
+  c.computes <- c.computes + 1;
+  let r =
+    Hippo_staticcheck.Checker.check ~aa:(andersen v) ~observe ?entries
+      v.entry.prog
+  in
+  if List.assoc_opt entries v.entry.static_ = None then
+    v.entry.static_ <- (entries, r) :: v.entry.static_;
+  r
 
 (* ------------------------------------------------------------------ *)
 

@@ -53,6 +53,21 @@ val oracle : view -> Hippo_alias.Oracle.t
 val static_check :
   ?entries:string list -> view -> Hippo_staticcheck.Checker.result
 
+(** Like {!static_check} but always executes the checker so the
+    [observe] hook fires over the converged abstract states (see
+    {!Hippo_staticcheck.Checker.check}); reuses the cached Andersen
+    result and feeds the static memo, so a later plain {!static_check}
+    with the same entries is a hit. *)
+val static_observed :
+  ?entries:string list ->
+  view ->
+  observe:
+    (func:string ->
+    Hippo_staticcheck.Absmem.t ->
+    Hippo_pmir.Instr.t ->
+    unit) ->
+  Hippo_staticcheck.Checker.result
+
 (* ---- instrumentation --------------------------------------------- *)
 
 (** How many times the Andersen analysis actually ran (cache misses). *)

@@ -57,6 +57,10 @@ type t = {
   mutable apply_stats : Apply.stats option;
   mutable verification : Verify.outcome option;  (* verify (dynamic) *)
   mutable residual_static : Report.bug list option;  (* verify (static) *)
+  (* ---- optimizer passes (Engine.optimize pipeline) ---- *)
+  mutable opt_analysis : Optimize.analysis option;  (* opt-analyze *)
+  mutable optimized : Cache.view option;  (* opt-apply *)
+  mutable opt_outcome : Optimize.outcome option;
   mutable events : Event.t list;  (* newest first *)
 }
 
@@ -86,6 +90,9 @@ let create ?(options = default_options) ?(cache = Cache.create ()) ?trace
     apply_stats = None;
     verification = None;
     residual_static = None;
+    opt_analysis = None;
+    optimized = None;
+    opt_outcome = None;
     events = [];
   }
 

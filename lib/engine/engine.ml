@@ -152,6 +152,96 @@ let verify_ =
 let passes = [ locate; compute; reduce; hoist; apply_; verify_ ]
 
 (* ------------------------------------------------------------------ *)
+(* Optimizer pipeline: analyze / apply / verify over the input version.
+   Same pass machinery, so runs are evented and timed like repairs. *)
+
+let opt_analyze =
+  Pass.make "opt-analyze" (fun ctx ->
+      let open Context in
+      let a =
+        Optimize.analyze ~cache:ctx.cache ?entries:ctx.static_entries
+          (program ctx)
+      in
+      ctx.opt_analysis <- Some a;
+      ( [
+          ("bugs", List.length a.Optimize.a_bugs);
+          ("candidates", List.length a.Optimize.a_removals);
+        ],
+        List.map
+          (fun r ->
+            ( Optimize.rule_name r.Optimize.r_rule,
+              Fmt.str "%a" Optimize.pp_removal r ))
+          a.Optimize.a_removals ))
+
+let opt_apply =
+  Pass.make "opt-apply" (fun ctx ->
+      let open Context in
+      let a =
+        match ctx.opt_analysis with
+        | Some a -> a
+        | None -> invalid_arg "engine: opt-apply scheduled before opt-analyze"
+      in
+      let view =
+        match a.Optimize.a_removals with
+        | [] -> ctx.input
+        | removals ->
+            Cache.view ctx.cache (Optimize.rewrite (program ctx) removals)
+      in
+      ctx.optimized <- Some view;
+      ( [
+          ("removed", List.length a.Optimize.a_removals);
+          ("output_instrs", Cache.size view);
+          ("output_version", Cache.version view);
+        ],
+        [] ))
+
+let opt_verify =
+  Pass.make "opt-verify" (fun ctx ->
+      let open Context in
+      let a = Option.get ctx.opt_analysis in
+      let view = Option.get ctx.optimized in
+      let before =
+        Hippo_perfmodel.Timed.static_counts (program ctx)
+      in
+      let removals = a.Optimize.a_removals in
+      let residual =
+        if removals = [] then a.Optimize.a_bugs
+        else
+          (Cache.static_check ?entries:ctx.static_entries view)
+            .Hippo_staticcheck.Checker.bugs
+      in
+      let equal = Optimize.reports_equal a.Optimize.a_bugs residual in
+      (* do no harm: static-report drift reverts the whole rewrite *)
+      let view, removals, residual =
+        if equal then (view, removals, residual)
+        else (ctx.input, [], a.Optimize.a_bugs)
+      in
+      ctx.optimized <- Some view;
+      let outcome =
+        {
+          Optimize.o_prog = Cache.program view;
+          o_removals = removals;
+          o_candidates = List.length a.Optimize.a_removals;
+          o_before = before;
+          o_after = Hippo_perfmodel.Timed.static_counts (Cache.program view);
+          o_bugs = a.Optimize.a_bugs;
+          o_residual = residual;
+          o_report_equal = equal;
+          o_reverted = not equal;
+        }
+      in
+      ctx.opt_outcome <- Some outcome;
+      ( [
+          ("removed", List.length removals);
+          ("residual_bugs", List.length residual);
+          ("report_equal", flag equal);
+          ("reverted", flag (not equal));
+        ],
+        [ ("mode", "static") ] ))
+
+let opt_passes = [ opt_analyze; opt_apply; opt_verify ]
+
+(* ------------------------------------------------------------------ *)
 (* Entry points *)
 
 let run ?options ?cache ?trace ?static_entries ~detector ?workload
@@ -161,6 +251,15 @@ let run ?options ?cache ?trace ?static_entries ~detector ?workload
       ~config ~name prog
   in
   Pass.run_all ctx passes;
+  ctx
+
+let optimize ?options ?cache ?trace ?static_entries ?(name = "optimize") prog =
+  let ctx =
+    Context.create ?options ?cache ?trace ?static_entries
+      ~detector:(Detector.preset []) ~workload:None
+      ~config:Interp.default_config ~name prog
+  in
+  Pass.run_all ctx opt_passes;
   ctx
 
 let plan ?options ?cache ?trace ?(name = "plan") ~oracle prog bugs =

@@ -45,6 +45,34 @@ val run :
   Program.t ->
   Context.t
 
+(** The flush/fence optimizer pass list (see {!Optimize}):
+
+    {v opt-analyze -> opt-apply -> opt-verify v}
+
+    - {e opt-analyze} runs the observed static check plus the strict
+      must-analysis and records the proposed removals;
+    - {e opt-apply} deletes them and registers the result as a new
+      program version (the input version when nothing was removable);
+    - {e opt-verify} re-runs the static checker on the optimized
+      version and {e reverts the whole rewrite} unless the reports are
+      identical — repair must do no harm to speed, and the optimizer
+      must do no harm to safety.
+
+    Exposed for custom pipelines (e.g. repair-then-optimize over one
+    shared cache, where Andersen runs once per program version). *)
+val opt_passes : Pass.t list
+
+(** Run the optimizer pipeline on [prog]; the returned context holds
+    {!Context.t.opt_outcome} and the optimized version view. *)
+val optimize :
+  ?options:Context.options ->
+  ?cache:Cache.t ->
+  ?trace:(Event.t -> unit) ->
+  ?static_entries:string list ->
+  ?name:string ->
+  Program.t ->
+  Context.t
+
 (** Steps 2–3 only: compute the fix plan for externally-supplied bug
     reports under an externally-built oracle. Returns the plan, the
     hoisting decisions, and the number of fixes reduction eliminated. *)

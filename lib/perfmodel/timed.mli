@@ -28,3 +28,14 @@ val measure :
 (** [trials n f] runs [f seed] for seeds 1..n and summarizes the
     throughputs. *)
 val trials : int -> (int -> run) -> Stats.summary
+
+(** Static persistence-operation counts: the no-bench-needed visibility
+    metric for flush/fence redundancy removal. [flushes]/[fences] count
+    [Flush]/[Fence] instructions plus call sites of the mini-libpmem
+    entry points that flush and/or fence ([pmem_flush], [pmem_drain],
+    [pmem_persist], [pmem_memcpy_persist] — the persist variants count as
+    one of each). *)
+type static_counts = { stores : int; flushes : int; fences : int }
+
+val static_counts : Hippo_pmir.Program.t -> static_counts
+val pp_static_counts : Format.formatter -> static_counts -> unit

@@ -21,6 +21,9 @@ type engine = {
   ctx : Transfer.ctx;
   info : Summary.info SMap.t;
   memo : Summary.Memo.t;
+  observe : (func:string -> Absmem.t -> Instr.t -> unit) option;
+      (** reporting-pass hook: converged in-state of each instruction,
+          per analysed calling context (see the interface) *)
   mutable computed : int;
   mutable hits : int;
 }
@@ -258,6 +261,11 @@ and analyze_func eng ~stack ~func ~init =
           match st with
           | None -> None
           | Some s -> (
+              (* the hook sees converged states only: reporting mode is the
+                 one place block in-states are final for this context *)
+              (match (collect, eng.observe) with
+              | Some _, Some f -> f ~func s i
+              | _ -> ());
               match Instr.op i with
               | Instr.Call { dst; callee; args } ->
                   handle_call eng ~stack ~func ?collect s i dst callee args
@@ -342,11 +350,13 @@ let default_entries prog =
     | [] -> if candidates = [] then Program.func_names prog else candidates
     | roots -> roots
 
-let check ?entries prog =
-  let aa = Andersen.analyze prog in
+let check ?aa ?observe ?entries prog =
+  let aa = match aa with Some aa -> aa | None -> Andersen.analyze prog in
   let ctx = Transfer.make_ctx prog aa in
   let info = Summary.modinfo ctx in
-  let eng = { ctx; info; memo = Summary.Memo.create (); computed = 0; hits = 0 } in
+  let eng =
+    { ctx; info; memo = Summary.Memo.create (); observe; computed = 0; hits = 0 }
+  in
   let entries =
     match entries with Some e -> e | None -> default_entries prog
   in

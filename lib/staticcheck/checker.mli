@@ -28,5 +28,27 @@ type result = { bugs : Report.bug list; stats : stats }
 val default_entries : Program.t -> string list
 
 (** Analyse each entry against a fresh abstract PM state. Reports are
-    {!Hippo_pmcheck.Report.dedup}ed across entries. *)
-val check : ?entries:string list -> Program.t -> result
+    {!Hippo_pmcheck.Report.dedup}ed across entries.
+
+    [?aa] supplies an already-solved points-to analysis for the program
+    (the {!Hippo_alias.Andersen.analyze} result is a pure function of the
+    program, so callers holding a memoized one — the engine's analysis
+    cache — avoid re-running it).
+
+    [?observe] is invoked during the {e reporting} pass only (never while
+    the fixpoint is still iterating) with the converged abstract in-state
+    of every non-control instruction, once per analysed calling context:
+    each distinct (callee, arguments, projected state) summary is computed
+    exactly once, and its reporting pass fires the hook over that
+    context's converged block states. Contexts reached while a caller's
+    fixpoint had not yet converged are also observed (with states below
+    the converged ones) — consumers accumulating must-conditions over all
+    observations therefore stay conservative. The optimizer in
+    [lib/engine] uses this to prove flush/fence redundancy against the
+    same lattice the bug reports come from. *)
+val check :
+  ?aa:Hippo_alias.Andersen.t ->
+  ?observe:(func:string -> Absmem.t -> Instr.t -> unit) ->
+  ?entries:string list ->
+  Program.t ->
+  result

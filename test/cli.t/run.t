@@ -49,6 +49,8 @@ The bug finder reports the unflushed PM store (exit code 1 signals bugs):
 Repair from the on-disk trace; the heuristic hoists to the PM call site:
 
   $ hippocrates fix demo.pmir --trace demo.trace -o demo.fixed.pmir
+  input:    1 stores, 0 flush sites, 0 fence sites
+  repaired: 2 stores, 1 flush sites, 1 fence sites
   bugs: 2; fixes: 1 (0 intra, 1 inter); reduction eliminated 2; clones: 2
 
   $ grep -A4 'func @update_PM' demo.fixed.pmir
@@ -68,6 +70,8 @@ The repaired program is clean:
 Intra-only repair (Phase 3 disabled) fixes in-line instead:
 
   $ hippocrates fix demo.pmir --trace demo.trace --no-hoist -o demo.intra.pmir
+  input:    1 stores, 0 flush sites, 0 fence sites
+  repaired: 1 stores, 1 flush sites, 1 fence sites
   bugs: 2; fixes: 2 (2 intra, 0 inter); reduction eliminated 2; clones: 0
 
   $ grep -c 'flush.clwb' demo.intra.pmir
@@ -82,6 +86,8 @@ The PMTest trace dialect round-trips through fix as well:
   $ hippocrates check demo.pmir --format pmtest --trace-out demo.pmtest > /dev/null
   [1]
   $ hippocrates fix demo.pmir --trace demo.pmtest --format pmtest -o demo.fixed2.pmir
+  input:    1 stores, 0 flush sites, 0 fence sites
+  repaired: 2 stores, 1 flush sites, 1 fence sites
   bugs: 2; fixes: 1 (0 intra, 1 inter); reduction eliminated 2; clones: 2
   $ diff demo.fixed.pmir demo.fixed2.pmir
 
@@ -100,6 +106,8 @@ Workload-free repair from static reports produces the same fix as the
 dynamic pipeline, and the result is clean under both checkers:
 
   $ hippocrates fix demo.pmir --detector static -o demo.sfixed.pmir
+  input:    1 stores, 0 flush sites, 0 fence sites
+  repaired: 2 stores, 1 flush sites, 1 fence sites
   target: demo.pmir
   static bugs: 2
   fixes: 1 (0 intraprocedural, 1 interprocedural)
@@ -118,9 +126,13 @@ The static report file feeds `fix --trace` like a dynamic trace, and
 `--detector both` unions the two report sets; all three agree here:
 
   $ hippocrates fix demo.pmir --trace demo.static.trace -o demo.tfixed.pmir
+  input:    1 stores, 0 flush sites, 0 fence sites
+  repaired: 2 stores, 1 flush sites, 1 fence sites
   bugs: 2; fixes: 1 (0 intra, 1 inter); reduction eliminated 2; clones: 2
   $ diff demo.sfixed.pmir demo.tfixed.pmir
   $ hippocrates fix demo.pmir --detector both -o demo.bfixed.pmir
+  input:    1 stores, 0 flush sites, 0 fence sites
+  repaired: 2 stores, 1 flush sites, 1 fence sites
   target: demo.pmir
   bugs: 2
   fixes: 1 (0 intraprocedural, 1 interprocedural)
@@ -138,6 +150,8 @@ Repairs are deterministic across domain budgets: `--jobs` parallelizes
 verification without changing a byte of output:
 
   $ hippocrates fix demo.pmir --jobs 1 -o demo.j1.pmir
+  input:    1 stores, 0 flush sites, 0 fence sites
+  repaired: 2 stores, 1 flush sites, 1 fence sites
   target: demo.pmir
   bugs: 2
   fixes: 1 (0 intraprocedural, 1 interprocedural)
@@ -145,6 +159,8 @@ verification without changing a byte of output:
   IR size: 17 -> 24 (+41.176%)
   verification: residual bugs: 0; outputs match; PM state match
   $ hippocrates fix demo.pmir --jobs 4 -o demo.j4.pmir
+  input:    1 stores, 0 flush sites, 0 fence sites
+  repaired: 2 stores, 1 flush sites, 1 fence sites
   target: demo.pmir
   bugs: 2
   fixes: 1 (0 intraprocedural, 1 interprocedural)

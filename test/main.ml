@@ -11,6 +11,7 @@ let () =
       ("fixes", Test_fixes.suite);
       ("driver", Test_driver.suite);
       ("engine", Test_engine.suite);
+      ("optimize", Test_optimize.suite);
       ("parallel", Test_parallel.suite);
       ("crashsim", Test_crashsim.suite);
       ("pmir-gen", Test_pmir_gen.suite);

@@ -15,6 +15,8 @@ The entry-body stores are never flushed (the count is):
 Both take intraprocedural flushes (the stores are PM-only), shown as a patch:
 
   $ hippocrates fix pmlog.pmir --diff -o pmlog.fixed.pmir
+  input:    4 stores, 2 flush sites, 2 fence sites
+  repaired: 4 stores, 4 flush sites, 2 fence sites
   target: pmlog.pmir
   bugs: 4
   fixes: 2 (2 intraprocedural, 0 interprocedural)
